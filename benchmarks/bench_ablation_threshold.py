@@ -1,0 +1,14 @@
+"""Ablation bench: the work-delegation threshold of the Fig. 1 template."""
+
+from conftest import SCALE, emit
+
+from repro.experiments import ablation_threshold
+
+
+def test_delegation_threshold_sweep(benchmark):
+    table = benchmark.pedantic(
+        lambda: ablation_threshold.compute(scale=min(SCALE, 0.5)),
+        rounds=1, iterations=1,
+    )
+    emit("Ablation — delegation threshold (SSSP, grid-level)", table.render())
+    assert len(table.rows) == len(ablation_threshold.THRESHOLDS)

@@ -1,0 +1,89 @@
+"""Library micro-benchmarks: the compiler and simulator themselves.
+
+These time the infrastructure rather than regenerate paper figures —
+useful for tracking regressions in the hot paths (parser, transform,
+functional engine, timing scheduler).
+"""
+
+import numpy as np
+
+from repro.apps import get_app
+from repro.compiler import consolidate_source
+from repro.frontend.parser import parse
+from repro.frontend.typecheck import check_module
+from repro.frontend.unparser import unparse
+from repro.sim.device import Device
+
+
+def test_parse_and_check(benchmark):
+    src = get_app("sssp").annotated_source()
+    info = benchmark(lambda: check_module(parse(src)))
+    assert info.kernel_names()
+
+
+def test_unparse(benchmark):
+    module = parse(get_app("sssp").annotated_source())
+    text = benchmark(lambda: unparse(module))
+    assert "__global__" in text
+
+
+def test_consolidation_transform(benchmark):
+    src = get_app("sssp").annotated_source()
+    result = benchmark(lambda: consolidate_source(src, granularity="grid"))
+    assert result.report.granularity == "grid"
+
+
+def test_functional_engine_throughput(benchmark):
+    """Events/second of the SIMT engine on a memory-heavy kernel."""
+    src = """
+    __global__ void stream(int* a, int* b, int n) {
+        int t = blockIdx.x * blockDim.x + threadIdx.x;
+        for (int i = t; i < n; i += gridDim.x * blockDim.x) {
+            b[i] = a[i] * 2 + 1;
+        }
+    }
+    """
+    n = 16384
+
+    def run():
+        dev = Device()
+        prog = dev.load(src)
+        a = dev.from_numpy("a", np.arange(n, dtype=np.int32))
+        b = dev.from_numpy("b", np.zeros(n, dtype=np.int32))
+        prog.launch("stream", 32, 256, a, b, n)
+        return dev.synchronize()
+
+    metrics = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert metrics.dram_transactions > 0
+
+
+def test_timing_scheduler_throughput(benchmark):
+    """Scheduler events/second with thousands of tiny kernels (the
+    basic-dp shape that stresses the pending pool)."""
+    from repro.sim.engine import BlockTrace, KernelInstance, LaunchRecord
+    from repro.sim.specs import CostModel, K20C
+    from repro.sim.timing import DeviceScheduler
+
+    def build():
+        parent = KernelInstance(uid=1, name="p", grid=1, block_dim=128,
+                                args=(), depth=0)
+        trace = BlockTrace(block_idx=0, num_threads=128, num_warps=4)
+        trace.segments = [100_000]
+        parent.blocks.append(trace)
+        for i in range(3000):
+            child = KernelInstance(uid=2 + i, name="c", grid=1, block_dim=32,
+                                   args=(), depth=1, parent_uid=1,
+                                   from_device=True)
+            ct = BlockTrace(block_idx=0, num_threads=32, num_warps=1)
+            ct.segments = [50]
+            child.blocks.append(ct)
+            parent.children.append(child)
+            trace.launches.append(LaunchRecord(0, i * 30, child))
+        return parent
+
+    def run():
+        parent = build()
+        return DeviceScheduler(K20C, CostModel()).run([parent])
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.max_pending > 0

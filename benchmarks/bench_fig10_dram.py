@@ -1,0 +1,17 @@
+"""Fig. 10 bench: DRAM transactions relative to basic-dp."""
+
+from conftest import emit
+
+from repro.experiments import fig10_dram
+
+
+def test_fig10_dram_transactions(benchmark, runner):
+    table = benchmark.pedantic(
+        lambda: fig10_dram.compute(runner), rounds=1, iterations=1,
+    )
+    claims = fig10_dram.claims(table)
+    emit("Figure 10 — DRAM transactions ratio",
+         table.render() + "\n" + "\n".join(c.render() for c in claims))
+    geo = table.rows[-1]
+    # all granularities reduce traffic on (geometric) average
+    assert all(v < 1.0 for v in geo[1:])

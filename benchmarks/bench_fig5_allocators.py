@@ -1,0 +1,18 @@
+"""Fig. 5 bench: consolidation-buffer allocators on SSSP.
+
+Regenerates the paper's allocator comparison and times the full harness.
+"""
+
+from conftest import emit
+
+from repro.experiments import fig5_allocators
+
+
+def test_fig5_allocators(benchmark, runner):
+    table = benchmark.pedantic(
+        lambda: fig5_allocators.compute(runner), rounds=1, iterations=1,
+    )
+    claims = fig5_allocators.claims(table, runner)
+    emit("Figure 5 — buffer allocators (SSSP)",
+         table.render() + "\n" + "\n".join(c.render() for c in claims))
+    assert len(table.rows) == 3

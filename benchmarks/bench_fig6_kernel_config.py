@@ -1,0 +1,16 @@
+"""Fig. 6 bench: consolidated-kernel configuration selection on TD."""
+
+from conftest import emit
+
+from repro.experiments import fig6_kernel_config
+
+
+def test_fig6_kernel_config(benchmark, runner):
+    table = benchmark.pedantic(
+        lambda: fig6_kernel_config.compute(runner, exhaustive=True),
+        rounds=1, iterations=1,
+    )
+    claims = fig6_kernel_config.claims(table)
+    emit("Figure 6 — kernel configurations (Tree Descendants)",
+         table.render() + "\n" + "\n".join(c.render() for c in claims))
+    assert len(table.rows) == 6  # 2 datasets x 3 granularities

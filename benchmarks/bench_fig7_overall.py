@@ -1,0 +1,19 @@
+"""Fig. 7 bench: overall speedup of every variant over basic-dp."""
+
+from conftest import emit
+
+from repro.experiments import fig7_overall
+
+
+def test_fig7_overall_speedup(benchmark, runner):
+    table = benchmark.pedantic(
+        lambda: fig7_overall.compute(runner), rounds=1, iterations=1,
+    )
+    claims = fig7_overall.claims(table)
+    emit("Figure 7 — overall speedup over basic-dp",
+         table.render() + "\n" + "\n".join(c.render() for c in claims))
+    # 7 apps + geomean row
+    assert len(table.rows) == 8
+    # headline shape: every variant beats basic-dp on every app
+    for row in table.rows[:-1]:
+        assert all(v > 1.0 for v in row[1:])

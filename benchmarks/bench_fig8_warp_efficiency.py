@@ -1,0 +1,15 @@
+"""Fig. 8 bench: warp execution efficiency + child-launch counts."""
+
+from conftest import emit
+
+from repro.experiments import fig8_warp_efficiency
+
+
+def test_fig8_warp_efficiency(benchmark, runner):
+    table = benchmark.pedantic(
+        lambda: fig8_warp_efficiency.compute(runner), rounds=1, iterations=1,
+    )
+    claims = fig8_warp_efficiency.claims(runner)
+    emit("Figure 8 — warp execution efficiency",
+         table.render() + "\n" + "\n".join(c.render() for c in claims))
+    assert len(table.rows) == 8

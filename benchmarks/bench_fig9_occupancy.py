@@ -1,0 +1,15 @@
+"""Fig. 9 bench: achieved SMX occupancy."""
+
+from conftest import emit
+
+from repro.experiments import fig9_occupancy
+
+
+def test_fig9_occupancy(benchmark, runner):
+    table = benchmark.pedantic(
+        lambda: fig9_occupancy.compute(runner), rounds=1, iterations=1,
+    )
+    claims = fig9_occupancy.claims(runner)
+    emit("Figure 9 — achieved SMX occupancy",
+         table.render() + "\n" + "\n".join(c.render() for c in claims))
+    assert len(table.rows) == 8

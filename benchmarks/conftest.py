@@ -1,0 +1,28 @@
+"""Shared state for the benchmark harness.
+
+One session-scoped :class:`ExperimentRunner` memoizes application runs, so
+the Fig. 7/8/9/10 benches profile the same executions — exactly how the
+paper gathered its numbers. Scale with ``REPRO_BENCH_SCALE`` (default 1.0,
+matching EXPERIMENTS.md; ~10 minutes total. Use 0.5 for a quick pass).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import ExperimentRunner
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+@pytest.fixture(scope="session")
+def runner() -> ExperimentRunner:
+    return ExperimentRunner(scale=SCALE)
+
+
+def emit(title: str, text: str) -> None:
+    """Print a regenerated figure underneath the benchmark output."""
+    bar = "=" * 72
+    print(f"\n{bar}\n{title} (dataset scale x{SCALE})\n{bar}\n{text}\n")

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The offline evaluation environment ships setuptools 65 without the `wheel`
+package, so PEP 660 editable installs (`pyproject.toml`-only) cannot build.
+Keeping this `setup.py` lets `pip install -e .` fall back to the classic
+`setup.py develop` code path. All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,20 @@
+"""repro — reproduction of *Compiler-Assisted Workload Consolidation for
+Efficient Dynamic Parallelism on GPU* (Wu, Li, Becchi, IPDPS 2016).
+
+Public API tour (see README.md for a narrative):
+
+* :mod:`repro.frontend` — MiniCUDA parser/AST/unparser + ``#pragma dp``.
+* :mod:`repro.compiler` — the paper's contribution: warp/block/grid
+  workload-consolidation source-to-source transforms.
+* :mod:`repro.sim` — SIMT GPU simulator (functional + timing) standing in
+  for the Tesla K20c.
+* :mod:`repro.alloc` — device-side allocators (CUDA default, halloc,
+  pre-allocated pool).
+* :mod:`repro.apps` — the seven benchmark applications in basic-dp,
+  flat (no-dp) and consolidated variants.
+* :mod:`repro.experiments` — harnesses regenerating Figures 5-10.
+"""
+
+from .errors import ReproError  # noqa: F401
+
+__version__ = "1.0.0"

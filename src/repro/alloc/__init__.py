@@ -1,0 +1,47 @@
+"""Device-heap allocators for consolidation buffers (paper §IV.E, Fig. 5)."""
+
+from __future__ import annotations
+
+from .base import Allocator, AllocatorStats  # noqa: F401
+from .cuda_default import CudaDefaultAllocator  # noqa: F401
+from .halloc import HallocAllocator  # noqa: F401
+from .prealloc import PreallocPoolAllocator  # noqa: F401
+
+from ..sim.specs import CostModel
+
+#: pragma `buffer(type: ...)` name -> allocator class
+ALLOCATORS = {
+    "default": CudaDefaultAllocator,
+    "halloc": HallocAllocator,
+    "custom": PreallocPoolAllocator,
+}
+
+#: friendly experiment-facing aliases (Fig. 5 legend)
+ALIASES = {
+    "default": "default",
+    "malloc": "default",
+    "halloc": "halloc",
+    "custom": "custom",
+    "pre-alloc": "custom",
+    "prealloc": "custom",
+}
+
+
+def make_allocator(kind: str, heap_base: int, heap_bytes: int,
+                   cost: CostModel) -> Allocator:
+    """Instantiate an allocator by pragma/figure name with the cost model's
+    per-operation cycle prices."""
+    kind = ALIASES.get(kind, kind)
+    if kind == "default":
+        return CudaDefaultAllocator(heap_base, heap_bytes,
+                                    cost.malloc_default_cycles,
+                                    cost.malloc_default_contention)
+    if kind == "halloc":
+        return HallocAllocator(heap_base, heap_bytes,
+                               cost.malloc_halloc_cycles,
+                               cost.malloc_halloc_contention)
+    if kind == "custom":
+        return PreallocPoolAllocator(heap_base, heap_bytes,
+                                     cost.malloc_prealloc_cycles,
+                                     cost.malloc_prealloc_contention)
+    raise ValueError(f"unknown allocator kind {kind!r}")

@@ -1,0 +1,85 @@
+"""Device-heap allocator interface.
+
+§IV.E of the paper: consolidation buffers may be allocated with (1) the
+default CUDA device allocator, (2) the halloc slab allocator, or (3) a
+customized allocator over a pre-allocated memory pool. All three manage the
+*device heap* region of :class:`repro.sim.memory.GlobalMemory` and are
+functional (real address ranges, real reuse), with per-operation cycle
+costs supplied by the :class:`repro.sim.specs.CostModel` so the Fig. 5
+comparison is reproducible.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+
+@dataclass
+class AllocatorStats:
+    """Operation counts and charged cycles for one allocator instance."""
+
+    allocs: int = 0
+    frees: int = 0
+    bytes_allocated: int = 0
+    peak_bytes: int = 0
+    cycles: int = 0
+    failed: int = 0
+
+    def note_alloc(self, nbytes: int, live_bytes: int, cycles: int) -> None:
+        self.allocs += 1
+        self.bytes_allocated += nbytes
+        self.peak_bytes = max(self.peak_bytes, live_bytes)
+        self.cycles += cycles
+
+    def note_free(self, cycles: int) -> None:
+        self.frees += 1
+        self.cycles += cycles
+
+
+class Allocator(abc.ABC):
+    """Abstract device-heap allocator.
+
+    ``alloc`` returns a byte address inside ``[heap_base, heap_base+heap_bytes)``
+    or raises :class:`repro.errors.AllocationError`. ``op_cycles`` is the
+    per-operation cost the DP runtime charges to the calling thread.
+    """
+
+    #: name used by the ``buffer(type: ...)`` pragma clause
+    kind: str = "abstract"
+
+    def __init__(self, heap_base: int, heap_bytes: int, op_cycles: int,
+                 contention: float = 0.0):
+        self.heap_base = heap_base
+        self.heap_bytes = heap_bytes
+        self.op_cycles = op_cycles
+        #: lock-convoy factor: the k-th allocation of a run costs
+        #: ``op_cycles * (1 + contention * k)`` (see CostModel docs)
+        self.contention = contention
+        self.stats = AllocatorStats()
+        self.live_bytes = 0
+
+    @abc.abstractmethod
+    def alloc(self, nbytes: int) -> int:
+        """Allocate ``nbytes`` and return the byte address."""
+
+    def charge_cycles(self) -> int:
+        """Cycles the *next* allocation costs its calling thread, including
+        the lock-convoy wait behind allocations already performed."""
+        return int(self.op_cycles * (1 + self.contention * self.stats.allocs))
+
+    @abc.abstractmethod
+    def free(self, addr: int) -> None:
+        """Release an allocation previously returned by :meth:`alloc`."""
+
+    def reset(self) -> None:
+        """Drop all allocations (used between experiment runs)."""
+        self.live_bytes = 0
+
+    # -- helpers for subclasses ---------------------------------------------
+
+    ALIGN = 16
+
+    @classmethod
+    def _round(cls, nbytes: int) -> int:
+        return max(cls.ALIGN, (nbytes + cls.ALIGN - 1) // cls.ALIGN * cls.ALIGN)

@@ -1,0 +1,77 @@
+"""First-fit free-list allocator modelling CUDA's default device ``malloc``.
+
+The real CUDA device allocator serializes on a global heap lock and walks
+free lists; per-operation cost is high (the paper measures a 5.7x gap vs.
+the pre-allocated pool at block-level consolidation and a 20x slowdown at
+warp level, Fig. 5). Functionally this is a classic address-ordered
+first-fit heap with boundary coalescing on free.
+"""
+
+from __future__ import annotations
+
+from ..errors import AllocationError
+from .base import Allocator
+
+
+class CudaDefaultAllocator(Allocator):
+    kind = "default"
+
+    def __init__(self, heap_base: int, heap_bytes: int, op_cycles: int,
+                 contention: float = 0.0):
+        super().__init__(heap_base, heap_bytes, op_cycles, contention)
+        # list of (addr, nbytes) free extents, address-ordered
+        self.free_list: list[tuple[int, int]] = [(heap_base, heap_bytes)]
+        self.allocated: dict[int, int] = {}
+
+    def alloc(self, nbytes: int) -> int:
+        nbytes = self._round(nbytes)
+        for i, (addr, extent) in enumerate(self.free_list):
+            if extent >= nbytes:
+                if extent == nbytes:
+                    del self.free_list[i]
+                else:
+                    self.free_list[i] = (addr + nbytes, extent - nbytes)
+                self.allocated[addr] = nbytes
+                self.live_bytes += nbytes
+                self.stats.note_alloc(nbytes, self.live_bytes, self.op_cycles)
+                return addr
+        self.stats.failed += 1
+        raise AllocationError(
+            f"device malloc: out of heap memory ({nbytes} bytes requested)"
+        )
+
+    def free(self, addr: int) -> None:
+        nbytes = self.allocated.pop(addr, None)
+        if nbytes is None:
+            raise AllocationError(f"device free of unallocated address 0x{addr:x}")
+        self.live_bytes -= nbytes
+        self.stats.note_free(self.op_cycles)
+        self._insert_free(addr, nbytes)
+
+    def _insert_free(self, addr: int, nbytes: int) -> None:
+        # address-ordered insert with coalescing of adjacent extents
+        lo, hi = 0, len(self.free_list)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self.free_list[mid][0] < addr:
+                lo = mid + 1
+            else:
+                hi = mid
+        self.free_list.insert(lo, (addr, nbytes))
+        # coalesce with successor
+        if lo + 1 < len(self.free_list):
+            a, n = self.free_list[lo]
+            b, m = self.free_list[lo + 1]
+            if a + n == b:
+                self.free_list[lo:lo + 2] = [(a, n + m)]
+        # coalesce with predecessor
+        if lo > 0:
+            a, n = self.free_list[lo - 1]
+            b, m = self.free_list[lo]
+            if a + n == b:
+                self.free_list[lo - 1:lo + 1] = [(a, n + m)]
+
+    def reset(self) -> None:
+        super().reset()
+        self.free_list = [(self.heap_base, self.heap_bytes)]
+        self.allocated.clear()

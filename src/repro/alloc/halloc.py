@@ -1,0 +1,90 @@
+"""Slab allocator modelling *halloc* (Adinetz & Pleiter).
+
+halloc serves small allocations from per-size-class slabs with bitmap-like
+bookkeeping, which makes it faster than the default CUDA heap but still
+meaningfully more expensive per operation than a pre-allocated pool (the
+paper finds halloc ~on par with the default allocator for consolidation
+buffers, Fig. 5 — both lose to pre-alloc).
+
+Functional model: power-of-two size classes from 16 B to ``max_small``;
+each class carves chunks out of fixed-size slabs on demand and keeps a
+free stack for reuse. Larger requests fall back to a first-fit region at
+the top of the heap.
+"""
+
+from __future__ import annotations
+
+from ..errors import AllocationError
+from .base import Allocator
+from .cuda_default import CudaDefaultAllocator
+
+SLAB_BYTES = 64 * 1024
+
+
+class HallocAllocator(Allocator):
+    kind = "halloc"
+
+    def __init__(self, heap_base: int, heap_bytes: int, op_cycles: int,
+                 contention: float = 0.0, max_small: int = 8192):
+        super().__init__(heap_base, heap_bytes, op_cycles, contention)
+        self.max_small = max_small
+        # small-object region: first 3/4 of the heap, large fallback: rest
+        self.small_limit = heap_base + (heap_bytes // 4) * 3
+        self._slab_bump = heap_base
+        self.free_stacks: dict[int, list[int]] = {}
+        self.chunk_class: dict[int, int] = {}  # addr -> size class
+        self.large = CudaDefaultAllocator(self.small_limit,
+                                          heap_base + heap_bytes - self.small_limit,
+                                          op_cycles)
+
+    @staticmethod
+    def _size_class(nbytes: int) -> int:
+        c = 16
+        while c < nbytes:
+            c <<= 1
+        return c
+
+    def alloc(self, nbytes: int) -> int:
+        nbytes = self._round(nbytes)
+        if nbytes > self.max_small:
+            addr = self.large.alloc(nbytes)
+            self.chunk_class[addr] = -nbytes  # negative marks large
+            self.live_bytes += nbytes
+            self.stats.note_alloc(nbytes, self.live_bytes, self.op_cycles)
+            return addr
+        cls = self._size_class(nbytes)
+        stack = self.free_stacks.setdefault(cls, [])
+        if not stack:
+            self._carve_slab(cls, stack)
+        addr = stack.pop()
+        self.chunk_class[addr] = cls
+        self.live_bytes += cls
+        self.stats.note_alloc(cls, self.live_bytes, self.op_cycles)
+        return addr
+
+    def _carve_slab(self, cls: int, stack: list[int]) -> None:
+        if self._slab_bump + SLAB_BYTES > self.small_limit:
+            self.stats.failed += 1
+            raise AllocationError("halloc: small-object region exhausted")
+        base = self._slab_bump
+        self._slab_bump += SLAB_BYTES
+        stack.extend(range(base + SLAB_BYTES - cls, base - 1, -cls))
+
+    def free(self, addr: int) -> None:
+        cls = self.chunk_class.pop(addr, None)
+        if cls is None:
+            raise AllocationError(f"halloc free of unallocated address 0x{addr:x}")
+        if cls < 0:
+            self.large.free(addr)
+            self.live_bytes += cls  # cls is negative
+        else:
+            self.free_stacks[cls].append(addr)
+            self.live_bytes -= cls
+        self.stats.note_free(self.op_cycles)
+
+    def reset(self) -> None:
+        super().reset()
+        self._slab_bump = self.heap_base
+        self.free_stacks.clear()
+        self.chunk_class.clear()
+        self.large.reset()

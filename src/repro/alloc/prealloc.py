@@ -1,0 +1,47 @@
+"""The paper's customized pre-allocated memory-pool allocator.
+
+§IV.E: a memory pool (500 MB by default, ``totalSize`` clause) is reserved
+up front; consolidation buffers are carved out of it with what amounts to a
+single atomic bump per allocation, so the per-operation cost is tiny.
+``free`` is a no-op (the pool is reset wholesale between launches/runs),
+exactly like the paper's design where per-buffer regions are sized by the
+``perBufferSize`` prediction and never individually recycled.
+"""
+
+from __future__ import annotations
+
+from ..errors import AllocationError
+from .base import Allocator
+
+
+class PreallocPoolAllocator(Allocator):
+    kind = "custom"
+
+    def __init__(self, heap_base: int, heap_bytes: int, op_cycles: int,
+                 contention: float = 0.0):
+        super().__init__(heap_base, heap_bytes, op_cycles, contention)
+        self._bump = heap_base
+
+    def alloc(self, nbytes: int) -> int:
+        nbytes = self._round(nbytes)
+        if self._bump + nbytes > self.heap_base + self.heap_bytes:
+            self.stats.failed += 1
+            raise AllocationError(
+                f"pre-allocated pool exhausted ({nbytes} bytes requested, "
+                f"{self.heap_base + self.heap_bytes - self._bump} left); "
+                "increase totalSize in the #pragma dp buffer clause"
+            )
+        addr = self._bump
+        self._bump += nbytes
+        self.live_bytes += nbytes
+        self.stats.note_alloc(nbytes, self.live_bytes, self.op_cycles)
+        return addr
+
+    def free(self, addr: int) -> None:
+        # Pool memory is reclaimed wholesale by reset(); individual frees
+        # are free of charge and of effect, as in the paper's design.
+        self.stats.note_free(0)
+
+    def reset(self) -> None:
+        super().reset()
+        self._bump = self.heap_base

@@ -1,0 +1,39 @@
+"""The paper's seven benchmark applications (§V).
+
+Importing this package registers every app in :data:`repro.apps.REGISTRY`:
+
+=========  =====================  ==================  =================
+key        benchmark              pattern             child kind
+=========  =====================  ==================  =================
+sssp       SSSP                   irregular loop      solo block
+spmv       SpMV                   irregular loop      solo block
+pagerank   PageRank               irregular loop      solo block
+gc         Graph Coloring         irregular loop      solo block
+bfs_rec    Recursive BFS          parallel recursion  solo block
+th         Tree Heights           parallel recursion  solo block
+td         Tree Descendants       parallel recursion  solo thread
+=========  =====================  ==================  =================
+"""
+
+from .common import (  # noqa: F401
+    App,
+    AppRun,
+    BASIC,
+    BLOCK,
+    CONSOLIDATED,
+    FLAT,
+    GRID,
+    REGISTRY,
+    VARIANTS,
+    WARP,
+    all_apps,
+    get_app,
+)
+
+from . import sssp  # noqa: F401
+from . import spmv  # noqa: F401
+from . import pagerank  # noqa: F401
+from . import graph_coloring  # noqa: F401
+from . import bfs_rec  # noqa: F401
+from . import tree_heights  # noqa: F401
+from . import tree_descendants  # noqa: F401

@@ -1,0 +1,166 @@
+"""Benchmark-application framework.
+
+Every paper benchmark is an :class:`App` with:
+
+* an **annotated basic-dp source** — the naive dynamic-parallelism CUDA of
+  Fig. 1, carrying the ``#pragma dp`` directive. Run as-is, this *is* the
+  paper's ``basic-dp`` baseline (directives are inert at runtime);
+* a **flat source** — the ``no-dp`` baseline (inline serial inner loops);
+* a **host driver** that uploads the dataset, launches kernels (looping
+  until convergence where the algorithm iterates) and reads results back;
+* a NumPy/SciPy **reference** and a **check** predicate.
+
+Consolidated variants are *not hand-written*: they are produced by the
+compiler from the annotated source (``variant_source``), and reuse the same
+host driver because the transforms keep the parent kernel's name and
+signature.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..compiler import consolidate_source
+from ..compiler.consolidator import ConsolidationReport
+from ..sim.device import Device
+from ..sim.occupancy import LaunchConfig
+from ..sim.profiler import RunMetrics
+from ..sim.specs import CostModel, DEFAULT_COST_MODEL, DeviceSpec, K20C
+
+#: variant identifiers, matching the paper's figure legends
+BASIC = "basic-dp"
+FLAT = "no-dp"
+WARP = "warp-level"
+BLOCK = "block-level"
+GRID = "grid-level"
+
+VARIANTS = (BASIC, FLAT, WARP, BLOCK, GRID)
+CONSOLIDATED = {WARP: "warp", BLOCK: "block", GRID: "grid"}
+
+
+@dataclass
+class AppRun:
+    """Result of one measured application run."""
+
+    app: str
+    variant: str
+    dataset: str
+    metrics: RunMetrics
+    result: np.ndarray
+    report: Optional[ConsolidationReport] = None
+    checked: bool = False
+
+
+class App(abc.ABC):
+    """One paper benchmark. Subclasses provide sources and the host driver."""
+
+    #: short key ('sssp') and figure label ('SSSP')
+    key: str = ""
+    label: str = ""
+    #: default work-delegation threshold for irregular-loop apps
+    threshold: int = 8
+
+    # -- sources -------------------------------------------------------------
+
+    @abc.abstractmethod
+    def annotated_source(self) -> str:
+        """Basic-dp CUDA annotated with #pragma dp (Fig. 1 template)."""
+
+    @abc.abstractmethod
+    def flat_source(self) -> str:
+        """Flat (no-dp) CUDA."""
+
+    def variant_source(self, variant: str,
+                       config: Optional[LaunchConfig] = None,
+                       spec: DeviceSpec = K20C
+                       ) -> tuple[str, Optional[ConsolidationReport]]:
+        """Source text + consolidation report for a variant."""
+        if variant == BASIC:
+            return self.annotated_source(), None
+        if variant == FLAT:
+            return self.flat_source(), None
+        gran = CONSOLIDATED.get(variant)
+        if gran is None:
+            raise ValueError(f"unknown variant {variant!r}")
+        res = consolidate_source(self.annotated_source(), granularity=gran,
+                                 config=config, spec=spec)
+        return res.source, res.report
+
+    # -- dataset + driver ------------------------------------------------------
+
+    @abc.abstractmethod
+    def default_dataset(self, scale: float = 1.0):
+        """The dataset the paper uses for this benchmark (scaled)."""
+
+    @abc.abstractmethod
+    def host_run(self, device: Device, program, dataset, variant: str) -> np.ndarray:
+        """Upload, launch (loop as needed) and return the result array.
+
+        Must work unchanged for BASIC and all consolidated variants (the
+        transforms preserve the parent kernel interface); FLAT drivers may
+        branch on ``variant``.
+        """
+
+    # -- verification -----------------------------------------------------------
+
+    @abc.abstractmethod
+    def reference(self, dataset) -> np.ndarray:
+        """Ground-truth result computed with NumPy/SciPy."""
+
+    def check(self, result: np.ndarray, dataset) -> bool:
+        """Default check: exact match against the reference."""
+        return np.array_equal(result, self.reference(dataset))
+
+    # -- measured execution ------------------------------------------------------
+
+    def run(self, variant: str, dataset=None, *, scale: float = 1.0,
+            allocator: str = "custom", config: Optional[LaunchConfig] = None,
+            spec: DeviceSpec = K20C, cost: CostModel = DEFAULT_COST_MODEL,
+            heap_bytes: Optional[int] = None, verify: bool = True) -> AppRun:
+        """Execute one variant on a fresh simulated device and profile it."""
+        if dataset is None:
+            dataset = self.default_dataset(scale)
+        source, report = self.variant_source(variant, config=config, spec=spec)
+        kwargs = {} if heap_bytes is None else {"heap_bytes": heap_bytes}
+        device = Device(spec=spec, cost=cost, allocator=allocator, **kwargs)
+        program = device.load(source)
+        result = self.host_run(device, program, dataset, variant)
+        metrics = device.synchronize()
+        checked = False
+        if verify:
+            if not self.check(result, dataset):
+                raise AssertionError(
+                    f"{self.label} [{variant}] produced a wrong result on "
+                    f"{getattr(dataset, 'name', dataset)}"
+                )
+            checked = True
+        return AppRun(
+            app=self.key, variant=variant,
+            dataset=getattr(dataset, "name", str(dataset)),
+            metrics=metrics, result=result, report=report, checked=checked,
+        )
+
+
+#: populated by repro.apps.__init__
+REGISTRY: dict[str, App] = {}
+
+
+def register(app_cls):
+    """Class decorator: instantiate and register an App."""
+    app = app_cls()
+    if not app.key or not app.label:
+        raise ValueError(f"{app_cls.__name__} must define key and label")
+    REGISTRY[app.key] = app
+    return app_cls
+
+
+def get_app(key: str) -> App:
+    return REGISTRY[key]
+
+
+def all_apps() -> list[App]:
+    return [REGISTRY[k] for k in sorted(REGISTRY)]

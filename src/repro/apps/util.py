@@ -1,0 +1,52 @@
+"""Host-side upload helpers shared by the benchmark drivers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.structures import Graph, Tree
+from ..sim.device import Device
+
+
+def upload_graph(device: Device, g: Graph, weights_as_float: bool = False):
+    """Upload a CSR graph; returns (row_ptr, col_idx, weights) arrays."""
+    row_ptr = device.from_numpy("row_ptr", g.row_ptr.astype(np.int32))
+    col_idx = device.from_numpy("col_idx", g.col_idx.astype(np.int32))
+    if weights_as_float:
+        weights = device.from_numpy("values", g.weights.astype(np.float32))
+    else:
+        weights = device.from_numpy("weights", g.weights.astype(np.int32))
+    return row_ptr, col_idx, weights
+
+
+def upload_tree(device: Device, t: Tree):
+    """Upload a tree; returns (child_ptr, child_idx, values) arrays."""
+    child_ptr = device.from_numpy("child_ptr", t.child_ptr.astype(np.int32))
+    child_idx = device.from_numpy("child_idx", t.child_idx.astype(np.int32))
+    values = device.from_numpy("values", t.values.astype(np.int32))
+    return child_ptr, child_idx, values
+
+
+def reverse_csr(g: Graph) -> Graph:
+    """Build the reverse (incoming-edge) CSR of a graph."""
+    n = g.num_nodes
+    counts = np.bincount(g.col_idx, minlength=n)
+    row_ptr = np.zeros(n + 1, dtype=np.int64)
+    row_ptr[1:] = np.cumsum(counts)
+    col_idx = np.zeros(g.num_edges, dtype=np.int32)
+    weights = np.zeros(g.num_edges, dtype=g.weights.dtype)
+    cursor = row_ptr[:-1].copy()
+    src = np.repeat(np.arange(n, dtype=np.int32), np.diff(g.row_ptr))
+    for e in range(g.num_edges):
+        v = g.col_idx[e]
+        k = cursor[v]
+        col_idx[k] = src[e]
+        weights[k] = g.weights[e]
+        cursor[v] += 1
+    rg = Graph(g.name + "^T", row_ptr, col_idx, weights)
+    rg.validate()
+    return rg
+
+
+def blocks_for(n: int, threads: int = 128) -> int:
+    return max(1, (n + threads - 1) // threads)

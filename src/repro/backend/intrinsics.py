@@ -1,0 +1,52 @@
+"""Runtime helpers imported by generated kernel code.
+
+Generated code (see :mod:`repro.backend.codegen`) calls these for C
+semantics that differ from Python's: truncating integer division, C
+remainder sign, and the math intrinsics of the MiniCUDA builtin set.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def _idiv(a, b):
+    """C integer division: truncation toward zero."""
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b >= 0) else -q
+
+
+def _imod(a, b):
+    """C integer remainder: sign follows the dividend."""
+    r = abs(a) % abs(b)
+    return r if a >= 0 else -r
+
+
+def _shr(a, b):
+    """Arithmetic shift right (C int semantics for non-huge values)."""
+    return a >> b
+
+
+_MATH_TABLE = {
+    "sqrtf": math.sqrt,
+    "sqrt": math.sqrt,
+    "expf": math.exp,
+    "logf": math.log,
+    "floorf": math.floor,
+    "ceilf": math.ceil,
+}
+
+
+def _powf(a, b):
+    return float(a) ** float(b)
+
+
+def _fabs(a):
+    return abs(float(a))
+
+
+_sqrtf = math.sqrt
+_expf = math.exp
+_logf = math.log
+_floorf = math.floor
+_ceilf = math.ceil

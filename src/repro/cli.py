@@ -1,0 +1,107 @@
+"""Command-line entry point.
+
+::
+
+    repro list                      # benchmarks and figures
+    repro fig7 [--scale 0.5]        # regenerate one figure
+    repro all  [--scale 0.5]        # all figures (shares runs)
+    repro run sssp grid-level       # run one app variant, print metrics
+    repro compile sssp --granularity block   # show generated CUDA
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+
+def _add_scale(p):
+    p.add_argument("--scale", type=float, default=1.0,
+                   help="dataset scale factor (default 1.0)")
+    p.add_argument("--no-verify", action="store_true",
+                   help="skip result verification")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Compiler-Assisted Workload "
+                    "Consolidation for Efficient Dynamic Parallelism on GPU' "
+                    "(Wu, Li, Becchi, IPDPS 2016)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list benchmarks and figures")
+
+    from .experiments import FIGURES
+
+    for fig in FIGURES:
+        p = sub.add_parser(fig, help=f"regenerate {fig}")
+        _add_scale(p)
+    p = sub.add_parser("all", help="regenerate every figure")
+    _add_scale(p)
+
+    p = sub.add_parser("run", help="run one app variant")
+    p.add_argument("app")
+    p.add_argument("variant")
+    p.add_argument("--allocator", default="custom",
+                   choices=["default", "halloc", "custom"])
+    _add_scale(p)
+
+    p = sub.add_parser("compile", help="print consolidated CUDA for an app")
+    p.add_argument("app")
+    p.add_argument("--granularity", default=None,
+                   choices=["warp", "block", "grid"])
+
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        from .apps import all_apps
+
+        print("benchmarks:")
+        for app in all_apps():
+            print(f"  {app.key:10s} {app.label}")
+        print("figures:", ", ".join(FIGURES))
+        return 0
+
+    if args.command == "compile":
+        from .apps import get_app
+        from .compiler import consolidate_source
+
+        app = get_app(args.app)
+        res = consolidate_source(app.annotated_source(),
+                                 granularity=args.granularity)
+        print(f"// {res.report.describe()}")
+        print(res.source)
+        return 0
+
+    if args.command == "run":
+        from .apps import get_app
+
+        app = get_app(args.app)
+        t0 = time.time()
+        run = app.run(args.variant, scale=args.scale,
+                      allocator=args.allocator, verify=not args.no_verify)
+        wall = time.time() - t0
+        print(f"{app.label} [{run.variant}] on {run.dataset} "
+              f"(verified={run.checked}, wall={wall:.1f}s)")
+        if run.report is not None:
+            print(f"  {run.report.describe()}")
+        print(run.metrics.summary())
+        return 0
+
+    # figures
+    from .experiments import ExperimentRunner
+
+    runner = ExperimentRunner(scale=args.scale, verify=not args.no_verify)
+    figures = list(FIGURES) if args.command == "all" else [args.command]
+    for fig in figures:
+        t0 = time.time()
+        print(FIGURES[fig].main(runner))
+        print(f"[{fig} regenerated in {time.time() - t0:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

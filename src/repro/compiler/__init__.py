@@ -1,0 +1,19 @@
+"""The paper's contribution: directive-based workload-consolidation
+compiler for dynamic-parallelism CUDA code (§IV)."""
+
+from .analysis import (  # noqa: F401
+    MULTI_BLOCK,
+    SOLO_BLOCK,
+    SOLO_THREAD,
+    TemplateInfo,
+    classify_child,
+    find_template,
+)
+from .child_transform import consolidated_name, make_consolidated_child  # noqa: F401
+from .consolidator import (  # noqa: F401
+    ConsolidationReport,
+    ConsolidationResult,
+    consolidate_module,
+)
+from .parent_transform import transform_parent  # noqa: F401
+from .pipeline import consolidate_all, consolidate_source  # noqa: F401

@@ -1,0 +1,266 @@
+"""Template analysis for the consolidation transforms.
+
+Validates that an annotated kernel follows the paper's Fig. 1 template and
+extracts everything the child/parent transformations (§IV.C) need:
+
+* the single ``#pragma dp``-annotated statement and the single launch site
+  inside it;
+* the *section split* of the parent body: prework (top-level statements up
+  to and including the annotated one), the launch, and postwork (top-level
+  statements after it);
+* the classification of the child kernel from the launch configuration —
+  **solo thread** (``<<<1,1>>>``), **solo block** (``<<<1,T>>>``) or
+  **multi block** (everything else), exactly the three cases of §IV.C;
+* the mapping of launch arguments to buffered work fields vs. uniform
+  passthrough arguments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import TransformError
+from ..frontend.ast_nodes import (
+    Block,
+    BuiltinVar,
+    Call,
+    Expr,
+    FunctionDef,
+    Ident,
+    IntLit,
+    LaunchExpr,
+    Module,
+    PragmaStmt,
+    Stmt,
+    walk,
+)
+from ..frontend.pragma import DpDirective
+from ..frontend.typecheck import ModuleInfo
+
+SOLO_THREAD = "solo_thread"
+SOLO_BLOCK = "solo_block"
+MULTI_BLOCK = "multi_block"
+
+
+@dataclass
+class ArgBinding:
+    """How one child-kernel parameter is supplied after consolidation."""
+
+    param_name: str
+    arg: Expr
+    #: 'work' -> read from buffer field `field`; 'uniform' -> passed through
+    mode: str
+    fld: int = -1
+
+
+@dataclass
+class TemplateInfo:
+    parent: FunctionDef
+    directive: DpDirective
+    pragma_stmt: PragmaStmt
+    #: index of the top-level parent-body statement containing the pragma
+    anchor_index: int
+    launch: LaunchExpr
+    child: FunctionDef
+    child_kind: str
+    bindings: list[ArgBinding]
+    #: names of buffered work fields, in field order (directive order plus
+    #: a synthetic trailing dim field when needed)
+    fields: list[str]
+    #: launch block-dim handling for solo-block children: either an int
+    #: (constant dim) or the buffer field index of the synthetic dim
+    dim_const: Optional[int] = None
+    dim_field: Optional[int] = None
+    #: does the parent recursively launch itself?
+    recursive: bool = False
+    #: top-level statement indexes of the postwork section
+    postwork_indexes: list[int] = field(default_factory=list)
+    #: does a top-level cudaDeviceSynchronize() separate launch and postwork?
+    had_device_sync: bool = False
+
+
+def _const_int(e: Expr) -> Optional[int]:
+    if isinstance(e, IntLit):
+        return e.value
+    return None
+
+
+def uniform_names(fn: FunctionDef, info: ModuleInfo) -> set[str]:
+    """Names whose values are identical across all threads of a kernel:
+    parameters and file-scope globals (builtin vector vars are *not*)."""
+    names = {p.name for p in fn.params}
+    names.update(info.globals.keys())
+    return names
+
+
+def expr_is_uniform(e: Expr, uniforms: set[str]) -> bool:
+    """Conservative uniformity: no thread builtins, all free identifiers
+    uniform, no function calls (could depend on hidden thread state)."""
+    for node in walk(e):
+        if isinstance(node, BuiltinVar):
+            return False
+        if isinstance(node, Call) or isinstance(node, LaunchExpr):
+            return False
+        if isinstance(node, Ident) and node.name not in uniforms:
+            # builtin constants like INT_MAX are uniform
+            from ..frontend.symbols import BUILTIN_CONSTANTS
+
+            if node.name not in BUILTIN_CONSTANTS:
+                return False
+    return True
+
+
+def find_template(info: ModuleInfo, parent_name: Optional[str] = None) -> TemplateInfo:
+    """Locate and validate the annotated launch template in a module."""
+    module = info.module
+    pragmas: list[tuple[FunctionDef, int, PragmaStmt]] = []
+    for fn in module.kernels():
+        if parent_name is not None and fn.name != parent_name:
+            continue
+        for idx, stmt in enumerate(fn.body.stmts):
+            for node in walk(stmt):
+                if isinstance(node, PragmaStmt):
+                    pragmas.append((fn, idx, node))
+    if not pragmas:
+        where = f" in kernel {parent_name!r}" if parent_name else ""
+        raise TransformError(f"no #pragma dp directive found{where}")
+    if len(pragmas) > 1:
+        locs = ", ".join(str(p.loc) for _, _, p in pragmas)
+        raise TransformError(
+            f"exactly one #pragma dp per module is supported, found "
+            f"{len(pragmas)} ({locs})"
+        )
+    parent, anchor_index, pragma_stmt = pragmas[0]
+    directive: DpDirective = pragma_stmt.directive
+
+    launches = [n for n in walk(pragma_stmt.stmt) if isinstance(n, LaunchExpr)]
+    if len(launches) != 1:
+        raise TransformError(
+            f"the #pragma dp statement must contain exactly one kernel "
+            f"launch, found {len(launches)}",
+            pragma_stmt.loc,
+        )
+    launch = launches[0]
+    try:
+        child = module.function(launch.callee)
+    except KeyError:
+        raise TransformError(f"launch of unknown kernel {launch.callee!r}",
+                             launch.loc) from None
+
+    child_kind = classify_child(launch)
+    bindings, fields = bind_arguments(parent, child, launch, directive, info)
+
+    dim_const = dim_field = None
+    if child_kind == SOLO_BLOCK:
+        dim_const, dim_field = resolve_dim(launch.block, parent, directive,
+                                           fields, info)
+    elif child_kind == SOLO_THREAD:
+        pass
+    else:
+        # multi-block children must be moldable (grid-stride style); the
+        # launch dims are advisory and need not be buffered.
+        pass
+
+    postwork_indexes = list(range(anchor_index + 1, len(parent.body.stmts)))
+    had_sync = False
+    kept_post = []
+    for i in postwork_indexes:
+        stmt = parent.body.stmts[i]
+        if _is_device_sync_stmt(stmt):
+            had_sync = True
+        else:
+            kept_post.append(i)
+
+    return TemplateInfo(
+        parent=parent,
+        directive=directive,
+        pragma_stmt=pragma_stmt,
+        anchor_index=anchor_index,
+        launch=launch,
+        child=child,
+        child_kind=child_kind,
+        bindings=bindings,
+        fields=fields,
+        dim_const=dim_const,
+        dim_field=dim_field,
+        recursive=(launch.callee == parent.name),
+        postwork_indexes=kept_post,
+        had_device_sync=had_sync,
+    )
+
+
+def _is_device_sync_stmt(stmt: Stmt) -> bool:
+    from ..frontend.ast_nodes import ExprStmt
+
+    return (isinstance(stmt, ExprStmt) and isinstance(stmt.expr, Call)
+            and stmt.expr.callee == "cudaDeviceSynchronize")
+
+
+def classify_child(launch: LaunchExpr) -> str:
+    """§IV.C's three cases, decided from the launch configuration."""
+    grid_c = _const_int(launch.grid)
+    block_c = _const_int(launch.block)
+    if grid_c == 1 and block_c == 1:
+        return SOLO_THREAD
+    if grid_c == 1:
+        return SOLO_BLOCK
+    return MULTI_BLOCK
+
+
+def bind_arguments(parent: FunctionDef, child: FunctionDef, launch: LaunchExpr,
+                   directive: DpDirective, info: ModuleInfo
+                   ) -> tuple[list[ArgBinding], list[str]]:
+    """Split launch arguments into buffered work fields and uniform args."""
+    uniforms = uniform_names(parent, info)
+    work_list = list(directive.work)
+    fields: list[str] = list(work_list)
+    bindings: list[ArgBinding] = []
+    for param, arg in zip(child.params, launch.args):
+        if isinstance(arg, Ident) and arg.name in work_list:
+            fld = work_list.index(arg.name)
+            if not param.type.is_integer:
+                raise TransformError(
+                    f"work variable {arg.name!r} feeds non-integer child "
+                    f"parameter {param.name!r} of type {param.type} — the "
+                    "consolidation buffer holds indexes/pointers (Table I)",
+                    arg.loc,
+                )
+            bindings.append(ArgBinding(param.name, arg, "work", fld))
+        elif expr_is_uniform(arg, uniforms):
+            bindings.append(ArgBinding(param.name, arg, "uniform"))
+        else:
+            raise TransformError(
+                f"launch argument for child parameter {param.name!r} is "
+                "thread-dependent but not listed in the work() clause; add "
+                "it to work() so it can be buffered",
+                getattr(arg, "loc", None),
+            )
+    return bindings, fields
+
+
+def resolve_dim(block_expr: Expr, parent: FunctionDef, directive: DpDirective,
+                fields: list[str], info: ModuleInfo
+                ) -> tuple[Optional[int], Optional[int]]:
+    """Decide how the consolidated solo-block child learns each item's
+    original block size (the moldable-wrap loop bound)."""
+    c = _const_int(block_expr)
+    if c is not None:
+        return c, None
+    if isinstance(block_expr, Ident) and block_expr.name in fields:
+        return None, fields.index(block_expr.name)
+    uniforms = uniform_names(parent, info)
+    if expr_is_uniform(block_expr, uniforms):
+        # uniform non-constant dim: treat as a uniform argument by buffering
+        # once per item anyway (simplest correct scheme)
+        pass
+    if isinstance(block_expr, Ident):
+        fields.append(block_expr.name)
+        return None, len(fields) - 1
+    raise TransformError(
+        "the child launch block dimension must be a constant or a variable "
+        "(optionally listed in work()) so the consolidated kernel can "
+        "recover each item's size; hoist the expression into a local "
+        "variable first",
+        getattr(block_expr, "loc", None),
+    )

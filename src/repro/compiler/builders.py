@@ -1,0 +1,109 @@
+"""Small AST-construction helpers shared by the transforms.
+
+These keep the transform code close to the shape of the CUDA it emits:
+``call("__dp_buf_get", ident("__dp_h"), intlit(0))`` reads like the
+generated line.
+"""
+
+from __future__ import annotations
+
+from ..frontend.ast_nodes import (
+    Assign,
+    BinOp,
+    Block,
+    BuiltinVar,
+    Call,
+    DeclStmt,
+    Expr,
+    ExprStmt,
+    For,
+    Ident,
+    If,
+    INT,
+    IntLit,
+    LaunchExpr,
+    Return,
+    Stmt,
+    Type,
+    VarDeclarator,
+)
+
+
+def intlit(v: int) -> IntLit:
+    return IntLit(int(v))
+
+
+def ident(name: str) -> Ident:
+    return Ident(name)
+
+
+def bin_(op: str, left: Expr, right: Expr) -> BinOp:
+    return BinOp(op, left, right)
+
+
+def call(name: str, *args: Expr) -> Call:
+    return Call(name, list(args))
+
+
+def call_stmt(name: str, *args: Expr) -> ExprStmt:
+    return ExprStmt(call(name, *args))
+
+
+def decl_int(name: str, init: Expr) -> DeclStmt:
+    return DeclStmt([VarDeclarator(name, INT, None, init)])
+
+
+def assign_stmt(target: Expr, value: Expr) -> ExprStmt:
+    return ExprStmt(Assign("=", target, value))
+
+
+def block(*stmts: Stmt) -> Block:
+    return Block(list(stmts))
+
+
+def if_(cond: Expr, then: Stmt, els: Stmt | None = None) -> If:
+    return If(cond, then, els)
+
+
+def for_int(var: str, init: Expr, cond: Expr, step_value: Expr, body: Block) -> For:
+    """``for (int var = init; cond; var += step_value) body``"""
+    return For(
+        init=decl_int(var, init),
+        cond=cond,
+        step=Assign("+=", ident(var), step_value),
+        body=body,
+    )
+
+
+def thread_idx() -> BuiltinVar:
+    return BuiltinVar("threadIdx", "x")
+
+
+def block_idx() -> BuiltinVar:
+    return BuiltinVar("blockIdx", "x")
+
+
+def block_dim() -> BuiltinVar:
+    return BuiltinVar("blockDim", "x")
+
+
+def grid_dim() -> BuiltinVar:
+    return BuiltinVar("gridDim", "x")
+
+
+def global_tid() -> Expr:
+    """``blockIdx.x * blockDim.x + threadIdx.x``"""
+    return bin_("+", bin_("*", block_idx(), block_dim()), thread_idx())
+
+
+def grid_stride() -> Expr:
+    """``gridDim.x * blockDim.x``"""
+    return bin_("*", grid_dim(), block_dim())
+
+
+def launch(callee: str, grid: Expr, blk: Expr, *args: Expr) -> ExprStmt:
+    return ExprStmt(LaunchExpr(callee, grid, blk, list(args)))
+
+
+def ret() -> Return:
+    return Return(None)

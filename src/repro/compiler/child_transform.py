@@ -1,0 +1,174 @@
+"""Child-kernel transformation (§IV.C, first phase).
+
+Turns the input child kernel into a *consolidated, moldable* child kernel
+that drains the consolidation buffer. The three §IV.C cases:
+
+solo thread (``<<<1,1>>>``)
+    every thread of the consolidated kernel fetches work items in a
+    grid-stride loop and processes each exactly as the single original
+    thread would (threadIdx/blockIdx collapse to 0);
+
+solo block (``<<<1,T>>>``)
+    every *block* fetches work items in a block-stride loop; the item body
+    is wrapped in a moldable ``for (t = threadIdx.x; t < dim; t +=
+    blockDim.x)`` loop where ``dim`` is the item's original block size
+    (constant, or recovered from a synthetic buffer field);
+
+multi block (``<<<G,T>>>``)
+    the original body must already be moldable (grid-stride style); the
+    consolidated kernel iterates work items in an outer loop with all
+    threads cooperating on each item.
+
+The returned kernel has signature
+``(uniform child params..., int __dp_h, int __dp_n)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..errors import TransformError
+from ..frontend.ast_nodes import (
+    Block,
+    BuiltinVar,
+    Call,
+    Expr,
+    FunctionDef,
+    INT,
+    Param,
+    Stmt,
+    Transformer,
+    clone,
+    walk,
+)
+from .analysis import MULTI_BLOCK, SOLO_BLOCK, SOLO_THREAD, TemplateInfo
+from .builders import (
+    bin_,
+    block,
+    block_dim,
+    block_idx,
+    call,
+    decl_int,
+    for_int,
+    global_tid,
+    grid_dim,
+    grid_stride,
+    ident,
+    intlit,
+    thread_idx,
+)
+
+#: reserved identifier prefix for transform-introduced names
+RESERVED_PREFIX = "__dp_"
+
+
+class SubstituteBuiltins(Transformer):
+    """Replace CUDA builtin vector variables by given expressions."""
+
+    def __init__(self, mapping: dict[str, Expr]):
+        self.mapping = mapping
+
+    def visit_BuiltinVar(self, node: BuiltinVar):
+        if node.dim == "x" and node.name in self.mapping:
+            return clone(self.mapping[node.name])
+        return node
+
+
+def consolidated_name(child_name: str, granularity: str) -> str:
+    return f"{child_name}_cons_{granularity}"
+
+
+def _forbid_syncthreads(body: Stmt, kind: str) -> None:
+    for node in walk(body):
+        if isinstance(node, Call) and node.callee == "__syncthreads":
+            raise TransformError(
+                f"__syncthreads in a {kind} child kernel cannot be preserved "
+                "by the moldable rewrite (threads take different trip "
+                "counts); restructure the child or use a multi-block child",
+                node.loc,
+            )
+
+
+def _work_decls(tpl: TemplateInfo) -> list[Stmt]:
+    """``int <param> = __dp_buf_get(__dp_h, __dp_s, field);`` for each
+    buffered child parameter."""
+    decls: list[Stmt] = []
+    for b in tpl.bindings:
+        if b.mode == "work":
+            decls.append(decl_int(
+                b.param_name,
+                call("__dp_buf_get", ident("__dp_h"), ident("__dp_s"),
+                     intlit(b.fld)),
+            ))
+    return decls
+
+
+def make_consolidated_child(tpl: TemplateInfo, granularity: str) -> FunctionDef:
+    """Build the consolidated child kernel for a template."""
+    child = tpl.child
+    body = clone(child.body)
+    kind = tpl.child_kind
+
+    if kind == SOLO_THREAD:
+        _forbid_syncthreads(body, "solo-thread")
+        inner = SubstituteBuiltins({
+            "threadIdx": intlit(0),
+            "blockIdx": intlit(0),
+            "blockDim": intlit(1),
+            "gridDim": intlit(1),
+        }).visit(body)
+        loop_body = block(*(_work_decls(tpl) + [inner]))
+        loop = for_int("__dp_s", global_tid(),
+                       bin_("<", ident("__dp_s"), ident("__dp_n")),
+                       grid_stride(), loop_body)
+        stmts: list[Stmt] = [loop]
+
+    elif kind == SOLO_BLOCK:
+        _forbid_syncthreads(body, "solo-block")
+        inner = SubstituteBuiltins({
+            "threadIdx": ident("__dp_t"),
+            "blockDim": ident("__dp_dim"),
+            "blockIdx": intlit(0),
+            "gridDim": intlit(1),
+        }).visit(body)
+        if tpl.dim_const is not None:
+            dim_decl = decl_int("__dp_dim", intlit(tpl.dim_const))
+        else:
+            dim_decl = decl_int(
+                "__dp_dim",
+                call("__dp_buf_get", ident("__dp_h"), ident("__dp_s"),
+                     intlit(tpl.dim_field)),
+            )
+        mold = for_int("__dp_t", thread_idx(),
+                       bin_("<", ident("__dp_t"), ident("__dp_dim")),
+                       block_dim(), block(inner))
+        loop_body = block(*(_work_decls(tpl) + [dim_decl, mold]))
+        loop = for_int("__dp_s", block_idx(),
+                       bin_("<", ident("__dp_s"), ident("__dp_n")),
+                       grid_dim(), loop_body)
+        stmts = [loop]
+
+    elif kind == MULTI_BLOCK:
+        # all threads cooperate on every item; the body must already be
+        # moldable (grid-stride) so the consolidated dims apply directly.
+        inner = clone(body)
+        loop_body = block(*(_work_decls(tpl) + [inner]))
+        loop = for_int("__dp_s", intlit(0),
+                       bin_("<", ident("__dp_s"), ident("__dp_n")),
+                       intlit(1), loop_body)
+        stmts = [loop]
+    else:  # pragma: no cover - classify_child is exhaustive
+        raise TransformError(f"unknown child kind {kind!r}")
+
+    params = [replace(p) for b, p in zip(tpl.bindings, child.params)
+              if b.mode == "uniform"]
+    params.append(Param("__dp_h", INT))
+    params.append(Param("__dp_n", INT))
+    return FunctionDef(
+        name=consolidated_name(child.name, granularity),
+        ret_type=child.ret_type,
+        params=params,
+        body=Block(stmts),
+        qualifiers=child.qualifiers,
+        loc=child.loc,
+    )

@@ -1,0 +1,402 @@
+"""Parent-kernel transformation (§IV.C, second phase).
+
+The five steps the paper lists:
+
+1. *buffer allocation* — implicit in our runtime: the scope-keyed
+   ``__dp_buf_acquire`` intrinsic allocates on first use, so the generated
+   code simply names the buffer wherever it needs it;
+2. *prework insertion* — prework is kept verbatim;
+3. *replacement of the child kernel launch with buffer insertions* —
+   the annotated launch statement becomes a ``__dp_buf_pushK`` of the
+   work variables (plus the synthetic dim field for solo-block children);
+4. *insertion of the required barrier synchronization* — ``__syncwarp``
+   reconvergence for warp-level, ``__syncthreads`` for block-level, the
+   custom exit-style global barrier (``__dp_grid_arrive_last``) for
+   grid-level;
+5. *postwork transformation* — inline for warp/block level (with the
+   original ``cudaDeviceSynchronize`` re-inserted into the designated
+   launcher); consolidated into a separate kernel launched by the last
+   block for grid-level, duplicating the *pure* prework declarations the
+   postwork depends on (the paper's "duplicating in the postwork the
+   relevant portions of prework").
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional
+
+from ..errors import TransformError
+from ..frontend.ast_nodes import (
+    Block,
+    BuiltinVar,
+    Call,
+    DeclStmt,
+    Expr,
+    ExprStmt,
+    FunctionDef,
+    Ident,
+    LaunchExpr,
+    PragmaStmt,
+    Stmt,
+    Ternary,
+    Transformer,
+    clone,
+    walk,
+)
+from ..frontend.pragma import PER_THREAD_WORK_CONST
+from ..sim.occupancy import LaunchConfig
+from .analysis import SOLO_BLOCK, SOLO_THREAD, TemplateInfo
+from .builders import (
+    assign_stmt,
+    bin_,
+    block,
+    block_dim,
+    call,
+    call_stmt,
+    decl_int,
+    grid_dim,
+    ident,
+    if_,
+    intlit,
+    launch,
+    ret,
+    thread_idx,
+)
+from .child_transform import SubstituteBuiltins
+
+GRAN_CODE = {"warp": 0, "block": 1, "grid": 2}
+
+
+# --------------------------------------------------------------------------
+# buffer sizing (§IV.E "Buffer size for customized allocator")
+# --------------------------------------------------------------------------
+
+def slots_expr(tpl: TemplateInfo, granularity: str) -> Expr:
+    """Per-buffer slot-count expression: ``totalThread * const`` where
+    ``const`` is the per-thread work estimate (or the user's
+    ``perBufferSize`` clause)."""
+    per = tpl.directive.per_buffer_size
+    if isinstance(per, int):
+        return intlit(per)
+    if granularity == "warp":
+        scope_threads: Expr = intlit(32)
+    elif granularity == "block":
+        scope_threads = block_dim()
+    else:
+        scope_threads = bin_("*", block_dim(), grid_dim())
+    if isinstance(per, str):
+        # runtime variable indicating items per thread (§IV.E: "a property
+        # of the current work item", e.g. the number of children of a node)
+        return bin_("*", scope_threads, ident(per))
+    return bin_("*", scope_threads, intlit(PER_THREAD_WORK_CONST))
+
+
+def acquire_expr(tpl: TemplateInfo, granularity: str) -> Expr:
+    return call(
+        "__dp_buf_acquire",
+        intlit(GRAN_CODE[granularity]),
+        slots_expr(tpl, granularity),
+        intlit(len(tpl.fields)),
+    )
+
+
+# --------------------------------------------------------------------------
+# step 3: launch -> push
+# --------------------------------------------------------------------------
+
+class _ReplaceLaunch(Transformer):
+    """Swap the annotated launch statement for a buffer push, and unwrap
+    the PragmaStmt marker."""
+
+    def __init__(self, tpl: TemplateInfo, granularity: str):
+        self.tpl = tpl
+        self.granularity = granularity
+        self.replaced = 0
+
+    def visit_PragmaStmt(self, node: PragmaStmt):
+        if node.directive is self.tpl.directive:
+            return node.stmt
+        return node
+
+    def visit_ExprStmt(self, node: ExprStmt):
+        if node.expr is not self.tpl.launch:
+            return node
+        self.replaced += 1
+        tpl = self.tpl
+        field_exprs: list[Expr] = [ident(name) for name in tpl.directive.work]
+        if tpl.dim_field is not None and tpl.dim_field >= len(tpl.directive.work):
+            field_exprs.append(clone(tpl.launch.block))
+        k = len(field_exprs)
+        if k > 4:
+            raise TransformError(
+                f"at most 4 buffered work fields are supported, got {k}",
+                tpl.pragma_stmt.loc,
+            )
+        return call_stmt(
+            f"__dp_buf_push{k}",
+            acquire_expr(tpl, self.granularity),
+            *field_exprs,
+        )
+
+
+# --------------------------------------------------------------------------
+# step 4/5: barrier + designated launcher (+ postwork)
+# --------------------------------------------------------------------------
+
+def _consolidated_launch_stmt(tpl: TemplateInfo, cfg: LaunchConfig,
+                              granularity: str, cons_name: str) -> list[Stmt]:
+    """``int __dp_n = __dp_buf_size(...); if (__dp_n > 0) cons<<<B,T>>>(...)``"""
+    uniform_args = [clone(b.arg) for b in tpl.bindings if b.mode == "uniform"]
+    handle = acquire_expr(tpl, granularity)
+    stmts: list[Stmt] = [
+        decl_int("__dp_hh", handle),
+        decl_int("__dp_n", call("__dp_buf_size", ident("__dp_hh"))),
+    ]
+    grid_e, block_e = _config_exprs(tpl, cfg, granularity)
+    launch_stmt = launch(cons_name, grid_e, block_e,
+                         *(uniform_args + [ident("__dp_hh"), ident("__dp_n")]))
+    body: list[Stmt] = [launch_stmt]
+    stmts.append(if_(bin_(">", ident("__dp_n"), intlit(0)), block(*body)))
+    return stmts
+
+
+def _config_exprs(tpl: TemplateInfo, cfg: LaunchConfig, granularity: str
+                  ) -> tuple[Expr, Expr]:
+    """Grid/block expressions for the consolidated launch."""
+    from ..sim.specs import K20C  # default spec for static configs
+
+    spec = getattr(cfg, "spec", None) or K20C
+    if cfg.mode == "one2one":
+        # Fig. 6 baseline: as many blocks (or threads, for thread-mapped
+        # children) as buffered items.
+        if tpl.child_kind == SOLO_THREAD:
+            # thread-mapped: threads = item count (hardware-clamped)
+            t_expr = Ternary(bin_("<", ident("__dp_n"), intlit(spec.max_threads_per_block)),
+                             ident("__dp_n"), intlit(spec.max_threads_per_block))
+            g_expr = bin_("/", bin_("+", ident("__dp_n"),
+                                    intlit(spec.max_threads_per_block - 1)),
+                          intlit(spec.max_threads_per_block))
+            return g_expr, t_expr
+        threads = tpl.dim_const if (tpl.child_kind == SOLO_BLOCK
+                                    and tpl.dim_const is not None) else \
+            (cfg.threads or 256)
+        return ident("__dp_n"), intlit(threads)
+    blocks, threads = cfg.resolve(spec, granularity)
+    # moldable clamp: never launch more blocks than the drain loop can use
+    # (item count for block-mapped children, ceil(n/T) for thread-mapped);
+    # KC_X remains the *cap*, exactly the role §IV.E gives it
+    if tpl.child_kind == SOLO_THREAD:
+        need = bin_("/", bin_("+", ident("__dp_n"), intlit(threads - 1)),
+                    intlit(threads))
+    else:
+        need = ident("__dp_n")
+    grid_e = Ternary(bin_("<", need, intlit(blocks)), need, intlit(blocks))
+    return grid_e, intlit(threads)
+
+
+def _designated_section(tpl: TemplateInfo, cfg: LaunchConfig, granularity: str,
+                        cons_name: str, postwork_kernel: Optional[FunctionDef],
+                        need_sync: bool) -> list[Stmt]:
+    """The barrier + designated-thread launch sequence inserted after the
+    anchor statement."""
+    launcher = _consolidated_launch_stmt(tpl, cfg, granularity, cons_name)
+    if granularity == "warp":
+        body = list(launcher)
+        if need_sync:
+            body.append(call_stmt("cudaDeviceSynchronize"))
+        section: list[Stmt] = [
+            call_stmt("__syncwarp"),
+            if_(bin_("==", bin_("%", thread_idx(), intlit(32)), intlit(0)),
+                block(*body)),
+        ]
+        if need_sync:
+            section.append(call_stmt("__syncwarp"))
+        return section
+    if granularity == "block":
+        body = list(launcher)
+        if need_sync:
+            body.append(call_stmt("cudaDeviceSynchronize"))
+        section = [
+            call_stmt("__syncthreads"),
+            if_(bin_("==", thread_idx(), intlit(0)), block(*body)),
+        ]
+        if need_sync:
+            section.append(call_stmt("__syncthreads"))
+        return section
+    if granularity == "grid":
+        body = list(launcher)
+        if need_sync or postwork_kernel is not None:
+            body.append(call_stmt("cudaDeviceSynchronize"))
+        if postwork_kernel is not None:
+            body.append(launch(postwork_kernel.name, grid_dim(), block_dim(),
+                               *[ident(p.name) for p in postwork_kernel.params]))
+        section = [
+            call_stmt("__syncthreads"),
+            if_(bin_("==", thread_idx(), intlit(0)),
+                block(if_(call("__dp_grid_arrive_last"), block(*body)))),
+        ]
+        return section
+    raise TransformError(f"unknown granularity {granularity!r}")
+
+
+# --------------------------------------------------------------------------
+# grid-level postwork consolidation
+# --------------------------------------------------------------------------
+
+def _is_pure_expr(e: Expr) -> bool:
+    from ..frontend.ast_nodes import Assign, IncDec
+
+    for node in walk(e):
+        if isinstance(node, (Assign, IncDec, LaunchExpr)):
+            return False
+        if isinstance(node, Call) and node.callee not in ("min", "max", "abs"):
+            return False
+    return True
+
+
+def _free_idents(stmts: list[Stmt], bound: set[str]) -> set[str]:
+    from ..frontend.ast_nodes import VarDeclarator
+
+    bound = set(bound)
+    free: set[str] = set()
+    for s in stmts:
+        for node in walk(s):
+            if isinstance(node, VarDeclarator):
+                bound.add(node.name)
+            elif isinstance(node, Ident) and node.name not in bound:
+                free.add(node.name)
+    return free
+
+
+def make_postwork_kernel(tpl: TemplateInfo, granularity: str) -> Optional[FunctionDef]:
+    """Consolidate grid-level postwork into its own kernel (§IV.C:
+    "we consolidate the postwork into a single kernel").
+
+    The kernel reuses the parent's parameters and duplicates the pure
+    prework declarations the postwork depends on. Raises TransformError
+    when postwork depends on impure prework state.
+    """
+    if not tpl.postwork_indexes:
+        return None
+    from ..frontend.symbols import BUILTIN_CONSTANTS
+
+    parent = tpl.parent
+    postwork = [clone(parent.body.stmts[i]) for i in tpl.postwork_indexes]
+    param_names = {p.name for p in parent.params}
+    needed = _free_idents(postwork, bound=set())
+    needed -= param_names
+    needed -= set(BUILTIN_CONSTANTS)
+
+    # collect pure top-level prework declarations, in order, that
+    # (transitively) produce the needed names
+    decls: list[DeclStmt] = []
+    produced: dict[str, tuple[DeclStmt, set[str]]] = {}
+    for i in range(tpl.anchor_index):
+        stmt = parent.body.stmts[i]
+        if isinstance(stmt, DeclStmt):
+            for d in stmt.declarators:
+                deps = set()
+                if d.init is not None:
+                    for node in walk(d.init):
+                        if isinstance(node, Ident):
+                            deps.add(node.name)
+                pure = d.init is None or _is_pure_expr(d.init)
+                if pure and d.array_size is None and not stmt.shared:
+                    produced[d.name] = (DeclStmt([clone(d)], const=stmt.const), deps)
+
+    # resolve transitively
+    ordered: list[str] = []
+
+    def need(name: str, trail: tuple = ()):  # depth-first over decl deps
+        if name in param_names or name in BUILTIN_CONSTANTS or name in ordered:
+            return
+        if name in trail:
+            raise TransformError(f"cyclic prework dependency on {name!r}")
+        if name not in produced:
+            raise TransformError(
+                f"grid-level postwork depends on {name!r}, which is not a "
+                "pure top-level prework declaration; the transform cannot "
+                "duplicate it (paper §IV.C limits postwork dependencies to "
+                "duplicable prework)",
+                tpl.pragma_stmt.loc,
+            )
+        _, deps = produced[name]
+        for dep in deps:
+            if dep in produced or (dep not in param_names
+                                   and dep not in BUILTIN_CONSTANTS):
+                need(dep, trail + (name,))
+        ordered.append(name)
+
+    for name in sorted(needed):
+        need(name)
+
+    body_stmts: list[Stmt] = [clone(produced[name][0]) for name in ordered]
+    body_stmts.extend(postwork)
+    return FunctionDef(
+        name=f"{parent.name}_post_{granularity}",
+        ret_type=parent.ret_type,
+        params=[replace(p) for p in parent.params],
+        body=Block(body_stmts),
+        qualifiers=parent.qualifiers,
+        loc=parent.loc,
+    )
+
+
+# --------------------------------------------------------------------------
+# driver
+# --------------------------------------------------------------------------
+
+def transform_parent(tpl: TemplateInfo, granularity: str, cfg: LaunchConfig,
+                     cons_name: str) -> tuple[FunctionDef, Optional[FunctionDef]]:
+    """Apply the five parent-transformation steps; returns the rewritten
+    parent and (for grid level) the consolidated postwork kernel.
+
+    The template's module is consumed: callers transform a freshly parsed
+    (or freshly built) module per consolidation, never a shared AST.
+    """
+    parent = tpl.parent
+    # postwork extraction must read the *original* body, before the launch
+    # replacement rewrites it
+    postwork_kernel = None
+    if granularity == "grid":
+        postwork_kernel = make_postwork_kernel(tpl, granularity)
+
+    replacer = _ReplaceLaunch(tpl, granularity)
+    new_body: Block = replacer.visit(parent.body)
+    if replacer.replaced != 1:
+        raise TransformError(
+            f"internal: expected to replace exactly 1 launch, replaced "
+            f"{replacer.replaced}", tpl.pragma_stmt.loc,
+        )
+
+    stmts = list(new_body.stmts)
+    if granularity == "grid":
+        # drop postwork (and stray device-syncs) from the parent: the last
+        # block launches the consolidated postwork kernel instead
+        stmts = [s for i, s in enumerate(stmts) if i <= tpl.anchor_index]
+    else:
+        # drop top-level cudaDeviceSynchronize statements; the designated
+        # launcher re-inserts the synchronization correctly
+        stmts = [s for i, s in enumerate(stmts)
+                 if i <= tpl.anchor_index or not _is_devsync(s)]
+
+    section = _designated_section(tpl, cfg, granularity, cons_name,
+                                  postwork_kernel,
+                                  need_sync=tpl.had_device_sync)
+    insert_at = tpl.anchor_index + 1
+    stmts[insert_at:insert_at] = section
+    new_parent = FunctionDef(
+        name=parent.name,
+        ret_type=parent.ret_type,
+        params=[replace(p) for p in parent.params],
+        body=Block(stmts),
+        qualifiers=parent.qualifiers,
+        loc=parent.loc,
+    )
+    return new_parent, postwork_kernel
+
+
+def _is_devsync(s: Stmt) -> bool:
+    return (isinstance(s, ExprStmt) and isinstance(s.expr, Call)
+            and s.expr.callee == "cudaDeviceSynchronize")

@@ -1,0 +1,51 @@
+"""Source-to-source entry points for the consolidation compiler.
+
+This is the user-facing equivalent of the paper's directive-based compiler
+(Fig. 3): annotated CUDA in, consolidated CUDA out.
+
+    >>> from repro.compiler import consolidate_source
+    >>> result = consolidate_source(annotated_src, granularity="block")
+    >>> print(result.source)          # the generated CUDA
+    >>> print(result.report.describe())
+
+Each call re-parses the input so the same annotated source can be
+consolidated at every granularity independently.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..frontend.parser import parse
+from ..sim.occupancy import LaunchConfig
+from ..sim.specs import DeviceSpec, K20C
+from .consolidator import ConsolidationResult, consolidate_module
+
+GRANULARITIES = ("warp", "block", "grid")
+
+
+def consolidate_source(source: str, granularity: Optional[str] = None,
+                       config: Optional[LaunchConfig] = None,
+                       parent: Optional[str] = None,
+                       spec: DeviceSpec = K20C,
+                       filename: str = "<annotated>") -> ConsolidationResult:
+    """Consolidate annotated MiniCUDA source at one granularity.
+
+    ``granularity`` overrides the pragma's ``consldt`` clause (the
+    experiments sweep all three); ``config`` overrides the kernel
+    configuration policy (KC_X by default).
+    """
+    module = parse(source, filename)
+    return consolidate_module(module, granularity=granularity, config=config,
+                              parent=parent, spec=spec)
+
+
+def consolidate_all(source: str, config: Optional[LaunchConfig] = None,
+                    parent: Optional[str] = None,
+                    spec: DeviceSpec = K20C) -> dict[str, ConsolidationResult]:
+    """Consolidate at all three granularities; keys 'warp'/'block'/'grid'."""
+    return {
+        gran: consolidate_source(source, granularity=gran, config=config,
+                                 parent=parent, spec=spec)
+        for gran in GRANULARITIES
+    }

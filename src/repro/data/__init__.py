@@ -1,0 +1,6 @@
+"""Dataset containers and deterministic synthetic generators (DESIGN.md §2
+documents the substitutions for the paper's DIMACS/tree datasets)."""
+
+from .graphgen import citeseer_like, kron_like, uniform_random  # noqa: F401
+from .structures import Graph, Tree  # noqa: F401
+from .treegen import tree_dataset1, tree_dataset2  # noqa: F401

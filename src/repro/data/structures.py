@@ -1,0 +1,125 @@
+"""Dataset containers: CSR graphs and child-indexed trees.
+
+Both are plain NumPy struct-of-arrays, matching the representations the
+paper's benchmarks use (Compressed Sparse Row for graphs/matrices, a CSR
+over child lists for trees).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class Graph:
+    """A directed graph / sparse matrix in CSR form."""
+
+    name: str
+    row_ptr: np.ndarray  # int64[n+1]
+    col_idx: np.ndarray  # int32[m]
+    weights: np.ndarray  # int32[m] (or float32 for SpMV values)
+
+    def __post_init__(self):
+        assert self.row_ptr.ndim == 1 and self.col_idx.ndim == 1
+        assert self.row_ptr[0] == 0 and self.row_ptr[-1] == len(self.col_idx)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.row_ptr) - 1
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.col_idx)
+
+    def out_degree(self, u: int) -> int:
+        return int(self.row_ptr[u + 1] - self.row_ptr[u])
+
+    @property
+    def degrees(self) -> np.ndarray:
+        return np.diff(self.row_ptr)
+
+    def neighbors(self, u: int) -> np.ndarray:
+        return self.col_idx[self.row_ptr[u]:self.row_ptr[u + 1]]
+
+    def validate(self) -> None:
+        n = self.num_nodes
+        if self.num_edges and (self.col_idx.min() < 0 or self.col_idx.max() >= n):
+            raise ValueError(f"{self.name}: column index out of range")
+        if np.any(np.diff(self.row_ptr) < 0):
+            raise ValueError(f"{self.name}: row_ptr not monotone")
+
+    def stats(self) -> str:
+        d = self.degrees
+        return (f"{self.name}: {self.num_nodes} nodes, {self.num_edges} edges, "
+                f"outdegree [{d.min()}, {d.max()}] avg {d.mean():.1f}")
+
+
+@dataclass
+class Tree:
+    """A rooted tree: CSR over children lists, root = node 0."""
+
+    name: str
+    child_ptr: np.ndarray  # int64[n+1]
+    child_idx: np.ndarray  # int32[total children]
+    values: np.ndarray  # int32[n] payload (used by Tree Descendants)
+    depth: int  # depth of the deepest node, root = depth 0
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.child_ptr) - 1
+
+    def num_children(self, u: int) -> int:
+        return int(self.child_ptr[u + 1] - self.child_ptr[u])
+
+    def children(self, u: int) -> np.ndarray:
+        return self.child_idx[self.child_ptr[u]:self.child_ptr[u + 1]]
+
+    def height(self) -> int:
+        """Number of levels (a single root = height 1), computed iteratively."""
+        height = 1
+        frontier = [0]
+        while frontier:
+            nxt: list[int] = []
+            for u in frontier:
+                nxt.extend(self.children(u).tolist())
+            if nxt:
+                height += 1
+            frontier = nxt
+        return height
+
+    def parents(self) -> np.ndarray:
+        """Parent index per node (root gets -1), derived from child lists."""
+        parents = np.full(self.num_nodes, -1, dtype=np.int32)
+        src = np.repeat(np.arange(self.num_nodes), np.diff(self.child_ptr))
+        parents[self.child_idx] = src
+        return parents
+
+    def node_depths(self) -> np.ndarray:
+        depths = np.zeros(self.num_nodes, dtype=np.int64)
+        frontier = [0]
+        while frontier:
+            nxt: list[int] = []
+            for u in frontier:
+                for c in self.children(u):
+                    depths[c] = depths[u] + 1
+                    nxt.append(int(c))
+            frontier = nxt
+        return depths
+
+    def validate(self) -> None:
+        n = self.num_nodes
+        if len(self.child_idx) and (self.child_idx.min() <= 0
+                                    or self.child_idx.max() >= n):
+            raise ValueError(f"{self.name}: child index out of range")
+        # every non-root node appears exactly once as a child
+        counts = np.bincount(self.child_idx, minlength=n)
+        if counts[0] != 0 or not np.all(counts[1:] == 1):
+            raise ValueError(f"{self.name}: not a tree (bad child multiplicity)")
+
+    def stats(self) -> str:
+        nc = np.diff(self.child_ptr)
+        leaves = int(np.sum(nc == 0))
+        return (f"{self.name}: {self.num_nodes} nodes, depth {self.depth}, "
+                f"{leaves} leaves, fanout [{nc.min()}, {nc.max()}]")

@@ -1,0 +1,73 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the frontend, compiler, backend or simulator derives
+from :class:`ReproError` so callers can catch the whole family at once.
+Frontend errors carry a :class:`~repro.frontend.source.SourceLocation` when
+one is available, and render ``file:line:col: message`` strings the way a
+conventional compiler driver would.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class SourceError(ReproError):
+    """An error tied to a location in MiniCUDA source code."""
+
+    def __init__(self, message: str, loc=None):
+        self.message = message
+        self.loc = loc
+        super().__init__(self._render())
+
+    def _render(self) -> str:
+        if self.loc is None:
+            return self.message
+        return f"{self.loc}: {self.message}"
+
+
+class LexError(SourceError):
+    """Raised by the lexer on malformed input (bad characters, unterminated
+    comments or literals)."""
+
+
+class ParseError(SourceError):
+    """Raised by the parser on a syntax error."""
+
+
+class PragmaError(SourceError):
+    """Raised for malformed ``#pragma dp`` directives (Table I grammar)."""
+
+
+class TypeCheckError(SourceError):
+    """Raised by semantic analysis (unknown identifiers, bad launches,
+    non-lvalue assignments, arity mismatches, ...)."""
+
+
+class TransformError(SourceError):
+    """Raised when a consolidation transform cannot be applied, e.g. the
+    annotated kernel does not follow the paper's Fig. 1 template."""
+
+
+class CodegenError(SourceError):
+    """Raised by the Python backend for constructs it cannot lower."""
+
+
+class SimulationError(ReproError):
+    """Raised by the GPU simulator for violations of device limits or
+    internal inconsistencies (e.g. exceeding the DP nesting depth)."""
+
+
+class LaunchError(SimulationError):
+    """Raised for invalid kernel launch configurations."""
+
+
+class AllocationError(SimulationError):
+    """Raised by device memory allocators (out of memory, bad free)."""
+
+
+class DeviceAssertError(SimulationError):
+    """Raised when a MiniCUDA ``assert``-style intrinsic fails during
+    functional execution."""

@@ -1,0 +1,26 @@
+"""Experiment harnesses regenerating every figure of the paper's
+evaluation (§V). One module per figure; all share the memoized
+:class:`~repro.experiments.runner.ExperimentRunner` so Figs. 7-10 profile
+the same executions, exactly as the paper does."""
+
+from . import (  # noqa: F401
+    ablation_threshold,
+    fig5_allocators,
+    fig6_kernel_config,
+    fig7_overall,
+    fig8_warp_efficiency,
+    fig9_occupancy,
+    fig10_dram,
+)
+from .reporting import PaperClaim, Table, bar_chart, geomean  # noqa: F401
+from .runner import ExperimentRunner  # noqa: F401
+
+#: figure id -> module (used by the CLI and the benchmark harness)
+FIGURES = {
+    "fig5": fig5_allocators,
+    "fig6": fig6_kernel_config,
+    "fig7": fig7_overall,
+    "fig8": fig8_warp_efficiency,
+    "fig9": fig9_occupancy,
+    "fig10": fig10_dram,
+}

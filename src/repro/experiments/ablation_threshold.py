@@ -1,0 +1,80 @@
+"""Ablation — the work-delegation threshold.
+
+Every irregular-loop benchmark guards its child launch with
+``deg > threshold`` (Fig. 1(b)). The paper fixes thresholds per app without
+studying them; this harness sweeps the threshold for one app and shows the
+tradeoff the template embodies:
+
+* threshold too low  -> everything is delegated: the buffer carries tiny
+  items whose per-item overhead wipes out the balance gain;
+* threshold too high -> nothing is delegated: the kernel degenerates to
+  the flat version, divergence and all;
+* the sweet spot sits around the warp width, where delegated items are
+  big enough to occupy the threads that process them.
+
+Run via ``benchmarks/bench_ablation_threshold.py`` or::
+
+    from repro.experiments.ablation_threshold import main
+    print(main())
+"""
+
+from __future__ import annotations
+
+from ..apps import get_app
+from ..sim.specs import DEFAULT_COST_MODEL, K20C
+from .reporting import Table
+
+THRESHOLDS = (2, 8, 32, 128, 100_000)
+APP = "sssp"
+
+
+def compute(scale: float = 0.5, variant: str = "grid-level") -> Table:
+    app = get_app(APP)
+    dataset = app.default_dataset(scale)
+    table = Table(
+        title=f"Ablation — delegation threshold ({app.label}, {variant})",
+        columns=["threshold", "cycles", "child launches", "buffered items",
+                 "warp efficiency"],
+    )
+    original = app.threshold
+    try:
+        for threshold in THRESHOLDS:
+            app.threshold = threshold
+            run = app.run(variant, dataset=dataset, spec=K20C,
+                          cost=DEFAULT_COST_MODEL)
+            m = run.metrics
+            label = str(threshold) if threshold < 100_000 else "inf (flat-like)"
+            table.add(label, f"{m.cycles:,.0f}", m.device_launches,
+                      m.buffer_pushes, f"{m.warp_execution_efficiency:.1%}")
+    finally:
+        app.threshold = original
+    table.notes.append(
+        "delegating everything and delegating nothing both lose; the knee "
+        "sits near the warp width (the paper's per-app choices)"
+    )
+    return table
+
+
+def best_threshold(scale: float = 0.5, variant: str = "grid-level") -> int:
+    """Threshold with the lowest simulated cycles (helper for tests)."""
+    app = get_app(APP)
+    dataset = app.default_dataset(scale)
+    original = app.threshold
+    best, best_cycles = None, float("inf")
+    try:
+        for threshold in THRESHOLDS:
+            app.threshold = threshold
+            cycles = app.run(variant, dataset=dataset).metrics.cycles
+            if cycles < best_cycles:
+                best, best_cycles = threshold, cycles
+    finally:
+        app.threshold = original
+    return best
+
+
+def main(scale: float = 0.5) -> str:
+    return compute(scale).render()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(main())

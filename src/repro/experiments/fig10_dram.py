@@ -1,0 +1,71 @@
+"""Figure 10 — DRAM transactions relative to basic-dp.
+
+Published: consolidation reduces total DRAM read+write transactions to
+60% (warp), 34% (block) and 36% (grid) of basic-dp's, because (1) bigger
+child kernels cache better, (2) fewer nested kernels means less parent
+swap traffic, and (3) fewer pending launches means less virtualized-pool
+management traffic. Block level can beat grid level (e.g. SpMV) because
+the grid-level custom global barrier adds its own memory traffic.
+"""
+
+from __future__ import annotations
+
+from ..apps import all_apps
+from .reporting import PaperClaim, Table, geomean
+from .runner import ExperimentRunner
+
+VARIANTS = ("warp-level", "block-level", "grid-level")
+
+PAPER_AVG_RATIO = {"warp-level": 0.60, "block-level": 0.34, "grid-level": 0.36}
+
+
+def compute(runner: ExperimentRunner) -> Table:
+    table = Table(
+        title="Fig. 10 — DRAM transactions (ratio to basic-dp)",
+        columns=["app"] + list(VARIANTS),
+    )
+    for app in all_apps():
+        base = runner.run(app.key, "basic-dp").metrics.dram_transactions
+        row = [app.label]
+        for variant in VARIANTS:
+            m = runner.run(app.key, variant).metrics
+            row.append(m.dram_transactions / base if base else float("nan"))
+        table.add(*row)
+    avg = ["geomean"]
+    for i in range(1, len(table.columns)):
+        avg.append(geomean([row[i] for row in table.rows]))
+    table.add(*avg)
+    table.notes.append("paper: 60% / 34% / 36% of basic-dp on average")
+    return table
+
+
+def claims(table: Table) -> list[PaperClaim]:
+    col = table.columns.index
+    avg = table.rows[-1]
+    out = [PaperClaim(
+        "all consolidation granularities reduce DRAM transactions",
+        "60% / 34% / 36%",
+        " / ".join(f"{avg[col(v)]:.0%}" for v in VARIANTS),
+        all(avg[col(v)] < 1.0 for v in VARIANTS),
+    )]
+    out.append(PaperClaim(
+        "warp-level keeps the most traffic (more launches than block/grid)",
+        "warp 60% vs block 34% / grid 36%",
+        f"warp {avg[col('warp-level')]:.0%} vs block "
+        f"{avg[col('block-level')]:.0%} / grid {avg[col('grid-level')]:.0%}",
+        avg[col("warp-level")] > avg[col("block-level")]
+        and avg[col("warp-level")] > avg[col("grid-level")],
+    ))
+    return out
+
+
+def main(runner: ExperimentRunner | None = None) -> str:
+    runner = runner or ExperimentRunner()
+    table = compute(runner)
+    lines = [table.render(), ""]
+    lines += [c.render() for c in claims(table)]
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(main())

@@ -1,0 +1,138 @@
+"""Figure 6 — selection of the consolidated-kernel configuration (TD).
+
+The paper compares, per consolidation granularity and on both tree
+datasets, the KC_1 / KC_16 / KC_32 configurations against the *1-1
+mapping* baseline and the best configuration found by exhaustive search.
+Published findings:
+
+* KC_1 is best for grid-, KC_16 for block-, KC_32 for warp-level;
+* the KC choice beats 1-1 mapping clearly (especially warp/block level);
+* the KC rule reaches ~97% of the exhaustively found optimum on average.
+"""
+
+from __future__ import annotations
+
+from ..sim.occupancy import LaunchConfig, kc_config
+from .reporting import PaperClaim, Table, geomean
+from .runner import ExperimentRunner
+
+APP = "td"
+GRANULARITIES = ("warp-level", "block-level", "grid-level")
+#: paper's KC_X rule: which X "belongs" to which granularity
+KC_HOME = {"warp-level": 32, "block-level": 16, "grid-level": 1}
+
+#: (B, T) candidates for the exhaustive-search reference. A trimmed grid —
+#: the full sweep of [16]'s autotuner is quadratic; these cover the
+#: decision space (few big blocks ... many small blocks).
+def exhaustive_configs(spec) -> list[tuple[int, int]]:
+    out = []
+    for threads in (64, 128, 256, 512):
+        for x in (1, 4, 16, 32):
+            out.append((kc_config(spec, x, threads)[0], threads))
+    return sorted(set(out))
+
+
+def _kc_configs(spec) -> dict[str, LaunchConfig]:
+    cfgs = {}
+    for x in (1, 16, 32):
+        blocks, threads = kc_config(spec, x)
+        cfgs[f"KC_{x}"] = LaunchConfig(mode="explicit", blocks=blocks,
+                                       threads=threads, spec=spec)
+    return cfgs
+
+
+def register_datasets(runner: ExperimentRunner) -> list[str]:
+    from ..data.treegen import tree_dataset1, tree_dataset2
+
+    names = ["dataset1", "dataset2"]
+    try:
+        runner.dataset(APP, "dataset1")
+    except KeyError:
+        runner.register_dataset(APP, "dataset1", tree_dataset1(runner.scale))
+        runner.register_dataset(APP, "dataset2", tree_dataset2(runner.scale))
+    return names
+
+
+def compute(runner: ExperimentRunner, exhaustive: bool = True) -> Table:
+    datasets = register_datasets(runner)
+    kc = _kc_configs(runner.spec)
+    one2one = LaunchConfig(mode="one2one", spec=runner.spec)
+    table = Table(
+        title="Fig. 6 — Tree Descendants kernel configurations "
+              "(speedup over basic-dp)",
+        columns=["dataset", "granularity", "KC_1", "KC_16", "KC_32",
+                 "1-1 mapping", "exhaustive", "KC-rule/exhaustive"],
+    )
+    for ds in datasets:
+        base = runner.run(APP, "basic-dp", dataset_name=ds)
+        for gran in GRANULARITIES:
+            speedups = {}
+            for name, cfg in kc.items():
+                run = runner.run(APP, gran, config=cfg, dataset_name=ds)
+                speedups[name] = base.metrics.cycles / run.metrics.cycles
+            run = runner.run(APP, gran, config=one2one, dataset_name=ds)
+            speedups["1-1 mapping"] = base.metrics.cycles / run.metrics.cycles
+            if exhaustive:
+                best = 0.0
+                for blocks, threads in exhaustive_configs(runner.spec):
+                    cfg = LaunchConfig(mode="explicit", blocks=blocks,
+                                       threads=threads, spec=runner.spec)
+                    r = runner.run(APP, gran, config=cfg, dataset_name=ds)
+                    best = max(best, base.metrics.cycles / r.metrics.cycles)
+                speedups["exhaustive"] = best
+            else:
+                speedups["exhaustive"] = float("nan")
+            home = speedups[f"KC_{KC_HOME[gran]}"]
+            ratio = home / speedups["exhaustive"] if exhaustive else float("nan")
+            table.add(ds, gran, speedups["KC_1"], speedups["KC_16"],
+                      speedups["KC_32"], speedups["1-1 mapping"],
+                      speedups["exhaustive"], ratio)
+    table.notes.append("paper: KC rule reaches ~97% of exhaustive search")
+    return table
+
+
+def claims(table: Table) -> list[PaperClaim]:
+    out = []
+    col = table.columns.index
+    ok_home = True
+    for row in table.rows:
+        gran = row[col("granularity")]
+        home = row[col(f"KC_{KC_HOME[gran]}")]
+        others = [row[col(f"KC_{x}")] for x in (1, 16, 32)
+                  if x != KC_HOME[gran]]
+        # the home KC must be at least competitive with the other KCs
+        if home < 0.85 * max(others):
+            ok_home = False
+    out.append(PaperClaim(
+        "KC_1/KC_16/KC_32 are the right choices for grid/block/warp",
+        "best per granularity", "home KC within 15% of best KC" if ok_home
+        else "home KC loses", ok_home,
+    ))
+    home_vs_one = all(
+        row[col(f"KC_{KC_HOME[row[col('granularity')]]}")]
+        >= row[col("1-1 mapping")] * 0.95
+        for row in table.rows
+    )
+    out.append(PaperClaim(
+        "KC rule beats the 1-1 mapping baseline",
+        "much better, esp. warp/block", "holds" if home_vs_one else "violated",
+        home_vs_one,
+    ))
+    ratios = [row[col("KC-rule/exhaustive")] for row in table.rows]
+    avg = geomean([r for r in ratios if r == r])
+    out.append(PaperClaim(
+        "KC rule vs exhaustive optimum", "~97%", f"{avg:.0%}", avg >= 0.80,
+    ))
+    return out
+
+
+def main(runner: ExperimentRunner | None = None, exhaustive: bool = True) -> str:
+    runner = runner or ExperimentRunner()
+    table = compute(runner, exhaustive=exhaustive)
+    lines = [table.render(), ""]
+    lines += [c.render() for c in claims(table)]
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(main())

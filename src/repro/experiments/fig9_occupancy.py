@@ -1,0 +1,73 @@
+"""Figure 9 — achieved SMX occupancy.
+
+Published: workload consolidation lifts achieved occupancy from 27.9%
+(basic-dp) to 39.3% / 60.3% / 82.9% for warp-/block-/grid-level: basic-dp
+fills the device with "small" kernels and the 32-concurrent-kernel cap
+leaves SMX warp slots idle, while consolidation grows the average child
+kernel until the occupancy-calculator configuration can fill the machine.
+
+Absolute values at simulator scale are lower than the paper's (scaled
+datasets run fewer resident warps against the same 13-SMX device), so the
+checked claims are the orderings and relative gains.
+"""
+
+from __future__ import annotations
+
+from ..apps import all_apps
+from .reporting import PaperClaim, Table
+from .runner import ExperimentRunner
+
+VARIANTS = ("basic-dp", "warp-level", "block-level", "grid-level")
+
+PAPER_AVG_OCC = {"basic-dp": 0.279, "warp-level": 0.393, "block-level": 0.603,
+                 "grid-level": 0.829}
+
+
+def compute(runner: ExperimentRunner) -> Table:
+    table = Table(
+        title="Fig. 9 — achieved SMX occupancy",
+        columns=["app"] + list(VARIANTS),
+    )
+    for app in all_apps():
+        row = [app.label]
+        for variant in VARIANTS:
+            m = runner.run(app.key, variant).metrics
+            row.append(f"{m.achieved_occupancy:.1%}")
+        table.add(*row)
+    avg = ["average"]
+    for variant in VARIANTS:
+        vals = [runner.run(a.key, variant).metrics.achieved_occupancy
+                for a in all_apps()]
+        avg.append(f"{sum(vals) / len(vals):.1%}")
+    table.add(*avg)
+    table.notes.append("paper averages: 27.9% -> 39.3% / 60.3% / 82.9%")
+    return table
+
+
+def claims(runner: ExperimentRunner) -> list[PaperClaim]:
+    apps = all_apps()
+    avg = {}
+    for variant in VARIANTS:
+        vals = [runner.run(a.key, variant).metrics.achieved_occupancy
+                for a in apps]
+        avg[variant] = sum(vals) / len(vals)
+    ordering = (avg["basic-dp"] < avg["warp-level"] < avg["block-level"]
+                < avg["grid-level"])
+    return [PaperClaim(
+        "avg occupancy: basic < warp < block < grid",
+        "27.9% < 39.3% < 60.3% < 82.9%",
+        " < ".join(f"{avg[v]:.1%}" for v in VARIANTS),
+        ordering,
+    )]
+
+
+def main(runner: ExperimentRunner | None = None) -> str:
+    runner = runner or ExperimentRunner()
+    table = compute(runner)
+    lines = [table.render(), ""]
+    lines += [c.render() for c in claims(runner)]
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(main())

@@ -1,0 +1,93 @@
+"""Plain-text tables and bar charts for the experiment harnesses.
+
+The paper presents Figs. 5-10 as bar charts; a terminal reproduction
+renders the same series as aligned tables plus optional ASCII bars, and
+records paper-reported reference values next to measured ones so
+EXPERIMENTS.md can be regenerated mechanically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+
+@dataclass
+class Table:
+    """A figure/table worth of results."""
+
+    title: str
+    columns: list[str]
+    rows: list[list] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, *cells) -> None:
+        self.rows.append(list(cells))
+
+    def render(self, float_fmt: str = "{:.2f}") -> str:
+        def fmt(cell) -> str:
+            if isinstance(cell, float):
+                return float_fmt.format(cell)
+            return str(cell)
+
+        grid = [self.columns] + [[fmt(c) for c in row] for row in self.rows]
+        widths = [max(len(row[i]) for row in grid) for i in range(len(self.columns))]
+        lines = [self.title, "=" * len(self.title)]
+        header = "  ".join(c.ljust(w) for c, w in zip(grid[0], widths))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in grid[1:]:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+    def column(self, name: str) -> list:
+        i = self.columns.index(name)
+        return [row[i] for row in self.rows]
+
+
+def bar_chart(labels: Sequence[str], values: Sequence[float], width: int = 46,
+              unit: str = "x", log: bool = False) -> str:
+    """Horizontal ASCII bars (log scale optional, as the paper's speedup
+    charts are log-scale)."""
+    import math
+
+    if not values:
+        return "(no data)"
+    vmax = max(values)
+    lines = []
+    lab_w = max(len(l) for l in labels)
+    for label, value in zip(labels, values):
+        if log:
+            frac = (math.log10(max(value, 1e-9)) - min(0.0, 0.0)) / max(
+                math.log10(max(vmax, 1.0000001)), 1e-9)
+            frac = max(0.0, min(1.0, frac))
+        else:
+            frac = value / vmax if vmax else 0.0
+        bar = "#" * max(1, int(frac * width)) if value > 0 else ""
+        lines.append(f"{label.ljust(lab_w)} | {bar} {value:.2f}{unit}")
+    return "\n".join(lines)
+
+
+def geomean(values: Sequence[float]) -> float:
+    import math
+
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+@dataclass
+class PaperClaim:
+    """A paper-reported quantity and how our measurement compares."""
+
+    claim: str
+    paper_value: str
+    measured: str
+    holds: bool
+
+    def render(self) -> str:
+        mark = "OK " if self.holds else "DIFF"
+        return f"[{mark}] {self.claim}: paper={self.paper_value}  measured={self.measured}"

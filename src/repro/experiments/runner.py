@@ -1,0 +1,68 @@
+"""Memoized experiment runner.
+
+The paper profiles the *same* executions for Figs. 7, 8, 9 and 10 (overall
+speedup, warp efficiency, occupancy, DRAM transactions). The runner caches
+one :class:`~repro.apps.common.AppRun` per configuration key so the four
+harnesses share runs exactly the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..apps import get_app
+from ..apps.common import AppRun
+from ..sim.occupancy import LaunchConfig
+from ..sim.specs import CostModel, DEFAULT_COST_MODEL, DeviceSpec, K20C
+
+#: default dataset scale for experiment runs: keeps each simulated run in
+#: the seconds range on a laptop while preserving degree/fanout skew
+DEFAULT_SCALE = 1.0
+
+
+@dataclass
+class ExperimentRunner:
+    scale: float = DEFAULT_SCALE
+    spec: DeviceSpec = K20C
+    cost: CostModel = DEFAULT_COST_MODEL
+    verify: bool = True
+    _cache: dict = field(default_factory=dict, repr=False)
+    #: optional named datasets (e.g. Fig. 6's tree dataset1/dataset2)
+    _datasets: dict = field(default_factory=dict, repr=False)
+
+    def dataset(self, app_key: str, name: Optional[str] = None):
+        """Default (or registered) dataset for an app, cached."""
+        key = (app_key, name)
+        if key not in self._datasets:
+            if name is not None:
+                raise KeyError(f"dataset {name!r} not registered")
+            self._datasets[key] = get_app(app_key).default_dataset(self.scale)
+        return self._datasets[key]
+
+    def register_dataset(self, app_key: str, name: str, dataset) -> None:
+        self._datasets[(app_key, name)] = dataset
+
+    def run(self, app_key: str, variant: str, *, allocator: str = "custom",
+            config: Optional[LaunchConfig] = None,
+            dataset_name: Optional[str] = None,
+            cost: Optional[CostModel] = None) -> AppRun:
+        cfg_key = None
+        if config is not None:
+            cfg_key = (config.mode, config.blocks, config.threads)
+        cost_obj = cost or self.cost
+        key = (app_key, variant, allocator, cfg_key, dataset_name, id(cost_obj))
+        if key not in self._cache:
+            app = get_app(app_key)
+            dataset = self.dataset(app_key, dataset_name)
+            self._cache[key] = app.run(
+                variant, dataset=dataset, allocator=allocator, config=config,
+                spec=self.spec, cost=cost_obj, verify=self.verify,
+            )
+        return self._cache[key]
+
+    def speedup_over_basic(self, app_key: str, variant: str, **kw) -> float:
+        base = self.run(app_key, "basic-dp", **{k: v for k, v in kw.items()
+                                                if k == "dataset_name"})
+        other = self.run(app_key, variant, **kw)
+        return base.metrics.cycles / other.metrics.cycles

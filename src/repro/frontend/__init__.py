@@ -1,0 +1,16 @@
+"""MiniCUDA frontend: lexer, parser, AST, pragma directives, semantic
+analysis and unparser.
+
+The frontend stands in for the ROSE/EDG infrastructure the paper builds on
+(§IV.E): it parses the CUDA-C subset needed by the paper's Fig. 1 template,
+attaches ``#pragma dp`` directives to the statements they annotate, and can
+unparse transformed ASTs back to CUDA source.
+"""
+
+from . import ast_nodes as ast  # noqa: F401  (convenient alias)
+from .ast_nodes import Module, FunctionDef, Type  # noqa: F401
+from .lexer import tokenize  # noqa: F401
+from .parser import parse  # noqa: F401
+from .pragma import DpDirective, parse_dp_pragma  # noqa: F401
+from .typecheck import check_module, ModuleInfo  # noqa: F401
+from .unparser import unparse  # noqa: F401

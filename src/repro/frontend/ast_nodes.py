@@ -1,0 +1,543 @@
+"""Typed AST for MiniCUDA.
+
+The node set covers the CUDA-C subset that the paper's Fig. 1 template (and
+our seven benchmark applications) need: functions with ``__global__`` /
+``__device__`` qualifiers, C control flow, pointers into global memory,
+CUDA builtins (``threadIdx`` ...), ``<<<grid, block>>>`` kernel launches and
+``#pragma dp`` directives attached to statements.
+
+Nodes are plain dataclasses. Generic traversal is provided by
+:func:`iter_children` / :func:`walk`, structural rewriting by
+:class:`Transformer` (which rebuilds only along mutated spines).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields, replace
+from typing import Iterator, Optional, Union
+
+from .source import SourceLocation, UNKNOWN_LOC
+
+# ---------------------------------------------------------------------------
+# Types
+# ---------------------------------------------------------------------------
+
+#: Scalar base types understood by the frontend.
+SCALAR_TYPES = ("void", "int", "uint", "long", "float", "double", "bool", "char", "size_t")
+
+
+@dataclass(frozen=True)
+class Type:
+    """A MiniCUDA type: a scalar base plus a pointer depth.
+
+    ``Type('int', 1)`` is ``int*``; ``Type('float', 0)`` is ``float``.
+    """
+
+    base: str
+    ptr: int = 0
+
+    def __post_init__(self):
+        if self.base not in SCALAR_TYPES:
+            raise ValueError(f"unknown base type {self.base!r}")
+        if self.ptr < 0:
+            raise ValueError("negative pointer depth")
+
+    # -- convenient predicates ------------------------------------------------
+
+    @property
+    def is_pointer(self) -> bool:
+        return self.ptr > 0
+
+    @property
+    def is_void(self) -> bool:
+        return self.base == "void" and self.ptr == 0
+
+    @property
+    def is_integer(self) -> bool:
+        return self.ptr == 0 and self.base in ("int", "uint", "long", "char", "bool", "size_t")
+
+    @property
+    def is_float(self) -> bool:
+        return self.ptr == 0 and self.base in ("float", "double")
+
+    @property
+    def is_arith(self) -> bool:
+        return self.is_integer or self.is_float
+
+    def pointee(self) -> "Type":
+        if not self.is_pointer:
+            raise ValueError(f"cannot dereference non-pointer type {self}")
+        return Type(self.base, self.ptr - 1)
+
+    def pointer_to(self) -> "Type":
+        return Type(self.base, self.ptr + 1)
+
+    def __str__(self) -> str:
+        spell = {"uint": "unsigned int"}.get(self.base, self.base)
+        return spell + "*" * self.ptr
+
+
+INT = Type("int")
+UINT = Type("uint")
+FLOAT = Type("float")
+DOUBLE = Type("double")
+BOOL = Type("bool")
+VOID = Type("void")
+
+
+# ---------------------------------------------------------------------------
+# Base node machinery
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Node:
+    """Base class of all AST nodes.
+
+    ``loc`` is declared on every concrete node (keyword-only, defaulted) so
+    diagnostics can point into the source. Nodes compare structurally
+    *ignoring* locations, which makes golden tests on transformed ASTs easy.
+    """
+
+    def children(self) -> Iterator["Node"]:
+        yield from iter_children(self)
+
+    def __eq__(self, other) -> bool:
+        if self.__class__ is not other.__class__:
+            return NotImplemented
+        for f in fields(self):
+            if f.name == "loc":
+                continue
+            if getattr(self, f.name) != getattr(other, f.name):
+                return False
+        return True
+
+    def __hash__(self):  # structural equality => identity-based hash is unsafe
+        return id(self)
+
+
+def iter_children(node: Node) -> Iterator[Node]:
+    """Yield the direct child nodes of ``node`` (lists are flattened)."""
+    for f in fields(node):
+        value = getattr(node, f.name)
+        if isinstance(value, Node):
+            yield value
+        elif isinstance(value, (list, tuple)):
+            for item in value:
+                if isinstance(item, Node):
+                    yield item
+
+
+def walk(node: Node) -> Iterator[Node]:
+    """Pre-order traversal of ``node`` and all descendants."""
+    yield node
+    for child in iter_children(node):
+        yield from walk(child)
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(eq=False)
+class Expr(Node):
+    pass
+
+
+@dataclass(eq=False)
+class IntLit(Expr):
+    value: int
+    loc: SourceLocation = field(default=UNKNOWN_LOC, compare=False)
+
+
+@dataclass(eq=False)
+class FloatLit(Expr):
+    value: float
+    loc: SourceLocation = field(default=UNKNOWN_LOC, compare=False)
+
+
+@dataclass(eq=False)
+class BoolLit(Expr):
+    value: bool
+    loc: SourceLocation = field(default=UNKNOWN_LOC, compare=False)
+
+
+@dataclass(eq=False)
+class StringLit(Expr):
+    value: str
+    loc: SourceLocation = field(default=UNKNOWN_LOC, compare=False)
+
+
+@dataclass(eq=False)
+class Ident(Expr):
+    name: str
+    loc: SourceLocation = field(default=UNKNOWN_LOC, compare=False)
+
+
+@dataclass(eq=False)
+class BuiltinVar(Expr):
+    """A CUDA builtin such as ``threadIdx.x``; ``name`` is e.g.
+    ``threadIdx`` and ``dim`` one of ``x``/``y``/``z``."""
+
+    name: str
+    dim: str
+    loc: SourceLocation = field(default=UNKNOWN_LOC, compare=False)
+
+
+#: The CUDA builtin vector variables recognized as :class:`BuiltinVar`.
+BUILTIN_VARS = ("threadIdx", "blockIdx", "blockDim", "gridDim")
+
+
+@dataclass(eq=False)
+class UnOp(Expr):
+    """Prefix unary operator: ``-``, ``+``, ``!``, ``~``, ``*`` (deref),
+    ``&`` (address-of)."""
+
+    op: str
+    operand: Expr
+    loc: SourceLocation = field(default=UNKNOWN_LOC, compare=False)
+
+
+@dataclass(eq=False)
+class IncDec(Expr):
+    """``++``/``--`` in prefix or postfix position."""
+
+    op: str  # "++" or "--"
+    operand: Expr
+    prefix: bool
+    loc: SourceLocation = field(default=UNKNOWN_LOC, compare=False)
+
+
+@dataclass(eq=False)
+class BinOp(Expr):
+    op: str
+    left: Expr
+    right: Expr
+    loc: SourceLocation = field(default=UNKNOWN_LOC, compare=False)
+
+
+@dataclass(eq=False)
+class Assign(Expr):
+    """``target op= value``; ``op`` is ``=`` or a compound like ``+=``."""
+
+    op: str
+    target: Expr
+    value: Expr
+    loc: SourceLocation = field(default=UNKNOWN_LOC, compare=False)
+
+
+@dataclass(eq=False)
+class Ternary(Expr):
+    cond: Expr
+    then: Expr
+    els: Expr
+    loc: SourceLocation = field(default=UNKNOWN_LOC, compare=False)
+
+
+@dataclass(eq=False)
+class Call(Expr):
+    """A plain function call ``callee(args...)``. ``callee`` is a name:
+    MiniCUDA has no function pointers."""
+
+    callee: str
+    args: list[Expr]
+    loc: SourceLocation = field(default=UNKNOWN_LOC, compare=False)
+
+
+@dataclass(eq=False)
+class LaunchExpr(Expr):
+    """A CUDA dynamic-parallelism launch ``kernel<<<grid, block>>>(args)``.
+
+    ``shared`` and ``stream`` mirror the optional 3rd/4th launch-config
+    operands; they are parsed but must be zero/default in MiniCUDA.
+    """
+
+    callee: str
+    grid: Expr
+    block: Expr
+    args: list[Expr]
+    shared: Optional[Expr] = None
+    stream: Optional[Expr] = None
+    loc: SourceLocation = field(default=UNKNOWN_LOC, compare=False)
+
+
+@dataclass(eq=False)
+class Index(Expr):
+    base: Expr
+    index: Expr
+    loc: SourceLocation = field(default=UNKNOWN_LOC, compare=False)
+
+
+@dataclass(eq=False)
+class Member(Expr):
+    """``base.name`` — only used for pragma-era struct-ish accesses; CUDA
+    builtins are folded into :class:`BuiltinVar` during parsing."""
+
+    base: Expr
+    name: str
+    loc: SourceLocation = field(default=UNKNOWN_LOC, compare=False)
+
+
+@dataclass(eq=False)
+class Cast(Expr):
+    type: Type
+    expr: Expr
+    loc: SourceLocation = field(default=UNKNOWN_LOC, compare=False)
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass(eq=False)
+class Stmt(Node):
+    pass
+
+
+@dataclass(eq=False)
+class VarDeclarator(Node):
+    """One ``name [ [arraysize] ] [= init]`` inside a declaration."""
+
+    name: str
+    type: Type
+    array_size: Optional[Expr] = None  # local/shared array: `int s[256]`
+    init: Optional[Expr] = None
+    loc: SourceLocation = field(default=UNKNOWN_LOC, compare=False)
+
+
+@dataclass(eq=False)
+class DeclStmt(Stmt):
+    """``[__shared__] [const] type declarator (, declarator)* ;``"""
+
+    declarators: list[VarDeclarator]
+    shared: bool = False
+    const: bool = False
+    loc: SourceLocation = field(default=UNKNOWN_LOC, compare=False)
+
+
+@dataclass(eq=False)
+class ExprStmt(Stmt):
+    expr: Expr
+    loc: SourceLocation = field(default=UNKNOWN_LOC, compare=False)
+
+
+@dataclass(eq=False)
+class Block(Stmt):
+    stmts: list[Stmt]
+    loc: SourceLocation = field(default=UNKNOWN_LOC, compare=False)
+
+
+@dataclass(eq=False)
+class If(Stmt):
+    cond: Expr
+    then: Stmt
+    els: Optional[Stmt] = None
+    loc: SourceLocation = field(default=UNKNOWN_LOC, compare=False)
+
+
+@dataclass(eq=False)
+class While(Stmt):
+    cond: Expr
+    body: Stmt
+    loc: SourceLocation = field(default=UNKNOWN_LOC, compare=False)
+
+
+@dataclass(eq=False)
+class DoWhile(Stmt):
+    body: Stmt
+    cond: Expr
+    loc: SourceLocation = field(default=UNKNOWN_LOC, compare=False)
+
+
+@dataclass(eq=False)
+class For(Stmt):
+    init: Optional[Stmt]  # DeclStmt or ExprStmt or None
+    cond: Optional[Expr]
+    step: Optional[Expr]
+    body: Stmt
+    loc: SourceLocation = field(default=UNKNOWN_LOC, compare=False)
+
+
+@dataclass(eq=False)
+class Return(Stmt):
+    value: Optional[Expr] = None
+    loc: SourceLocation = field(default=UNKNOWN_LOC, compare=False)
+
+
+@dataclass(eq=False)
+class Break(Stmt):
+    loc: SourceLocation = field(default=UNKNOWN_LOC, compare=False)
+
+
+@dataclass(eq=False)
+class Continue(Stmt):
+    loc: SourceLocation = field(default=UNKNOWN_LOC, compare=False)
+
+
+@dataclass(eq=False)
+class PragmaStmt(Stmt):
+    """A ``#pragma dp ...`` directive attached to the *next* statement.
+
+    ``directive`` holds the parsed :class:`repro.frontend.pragma.DpDirective`
+    (kept as ``object`` here to avoid a circular import); ``stmt`` is the
+    annotated statement.
+    """
+
+    directive: object
+    stmt: Stmt
+    loc: SourceLocation = field(default=UNKNOWN_LOC, compare=False)
+
+
+@dataclass(eq=False)
+class EmptyStmt(Stmt):
+    loc: SourceLocation = field(default=UNKNOWN_LOC, compare=False)
+
+
+# ---------------------------------------------------------------------------
+# Declarations / module
+# ---------------------------------------------------------------------------
+
+
+@dataclass(eq=False)
+class Param(Node):
+    name: str
+    type: Type
+    restrict: bool = False
+    const: bool = False
+    loc: SourceLocation = field(default=UNKNOWN_LOC, compare=False)
+
+
+@dataclass(eq=False)
+class FunctionDef(Node):
+    """A function definition. ``qualifiers`` is a frozenset drawn from
+    ``{"__global__", "__device__", "__host__"}``; kernels are the
+    ``__global__`` ones."""
+
+    name: str
+    ret_type: Type
+    params: list[Param]
+    body: Block
+    qualifiers: frozenset[str] = frozenset()
+    loc: SourceLocation = field(default=UNKNOWN_LOC, compare=False)
+
+    @property
+    def is_kernel(self) -> bool:
+        return "__global__" in self.qualifiers
+
+    @property
+    def is_device_fn(self) -> bool:
+        return "__device__" in self.qualifiers and not self.is_kernel
+
+
+@dataclass(eq=False)
+class GlobalDecl(Node):
+    """A file-scope ``__device__`` variable declaration."""
+
+    name: str
+    type: Type
+    init: Optional[Expr] = None
+    device: bool = True
+    loc: SourceLocation = field(default=UNKNOWN_LOC, compare=False)
+
+
+@dataclass(eq=False)
+class Module(Node):
+    """A parsed translation unit."""
+
+    decls: list[Union[FunctionDef, GlobalDecl]]
+    loc: SourceLocation = field(default=UNKNOWN_LOC, compare=False)
+
+    def functions(self) -> list[FunctionDef]:
+        return [d for d in self.decls if isinstance(d, FunctionDef)]
+
+    def kernels(self) -> list[FunctionDef]:
+        return [f for f in self.functions() if f.is_kernel]
+
+    def function(self, name: str) -> FunctionDef:
+        for f in self.functions():
+            if f.name == name:
+                return f
+        raise KeyError(name)
+
+
+# ---------------------------------------------------------------------------
+# Rewriting
+# ---------------------------------------------------------------------------
+
+
+class Transformer:
+    """Bottom-up structural rewriter.
+
+    Subclasses override ``visit_<ClassName>`` methods; each receives a node
+    whose children have already been rewritten, and returns a replacement
+    node (or the same node to leave it untouched). Statement visitors may
+    also return a *list* of statements, which is spliced into the enclosing
+    block; this is how the consolidation transforms insert buffer pushes and
+    barrier calls.
+    """
+
+    def visit(self, node):
+        if node is None:
+            return None
+        rebuilt = self._rebuild_children(node)
+        method = getattr(self, "visit_" + node.__class__.__name__, None)
+        if method is None:
+            return rebuilt
+        return method(rebuilt)
+
+    def _visit_child(self, value):
+        if isinstance(value, Node):
+            return self.visit(value)
+        if isinstance(value, list):
+            out = []
+            changed = False
+            for item in value:
+                if isinstance(item, Node):
+                    res = self.visit(item)
+                    if isinstance(res, list):
+                        out.extend(res)
+                        changed = True
+                    elif res is not None:
+                        out.append(res)
+                        changed = changed or res is not item
+                    else:
+                        changed = True
+                else:
+                    out.append(item)
+            # preserve list identity when nothing changed, so parents are
+            # not needlessly rebuilt (transforms rely on node identity)
+            return out if changed else value
+        return value
+
+    def _rebuild_children(self, node):
+        changes = {}
+        for f in fields(node):
+            old = getattr(node, f.name)
+            new = self._visit_child(old)
+            if new is not old:
+                changes[f.name] = new
+        if not changes:
+            return node
+        return replace(node, **changes)
+
+
+def clone(node):
+    """Deep-copy an AST (fresh node identities, same structure).
+
+    Non-node field values (types, strings, parsed directives) are shared;
+    they are immutable by convention.
+    """
+    if node is None:
+        return None
+    kwargs = {}
+    for f in fields(node):
+        value = getattr(node, f.name)
+        if isinstance(value, Node):
+            kwargs[f.name] = clone(value)
+        elif isinstance(value, list):
+            kwargs[f.name] = [clone(v) if isinstance(v, Node) else v for v in value]
+        else:
+            kwargs[f.name] = value
+    return node.__class__(**kwargs)

@@ -1,0 +1,199 @@
+"""Hand-written lexer for MiniCUDA.
+
+Produces a flat token stream. ``#pragma`` lines become single
+:class:`~repro.frontend.tokens.TokKind.PRAGMA` tokens carrying the directive
+payload; ``//`` and ``/* */`` comments are skipped; all other C lexical rules
+follow the usual maximal-munch convention (with ``<<<`` and ``>>>`` lexed as
+single CUDA launch punctuators, as nvcc does).
+"""
+
+from __future__ import annotations
+
+from ..errors import LexError
+from .source import SourceFile
+from .tokens import KEYWORDS, PUNCTUATORS, TokKind, Token
+
+_IDENT_START = frozenset("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_IDENT_CONT = _IDENT_START | frozenset("0123456789")
+_DIGITS = frozenset("0123456789")
+_HEX_DIGITS = _DIGITS | frozenset("abcdefABCDEF")
+
+# Group punctuators by first character for fast lookup.
+_PUNCT_BY_FIRST: dict[str, list[str]] = {}
+for _p in PUNCTUATORS:
+    _PUNCT_BY_FIRST.setdefault(_p[0], []).append(_p)
+for _lst in _PUNCT_BY_FIRST.values():
+    _lst.sort(key=len, reverse=True)
+
+
+class Lexer:
+    """Tokenizes one :class:`SourceFile`. Use :func:`tokenize` for the
+    one-shot convenience API."""
+
+    def __init__(self, src: SourceFile):
+        self.src = src
+        self.text = src.text
+        self.pos = 0
+        self.n = len(src.text)
+
+    # -- helpers -----------------------------------------------------------
+
+    def _loc(self, offset: int | None = None):
+        return self.src.location(self.pos if offset is None else offset)
+
+    def _error(self, message: str, offset: int | None = None) -> LexError:
+        return LexError(message, self._loc(offset))
+
+    def _peek(self, k: int = 0) -> str:
+        i = self.pos + k
+        return self.text[i] if i < self.n else ""
+
+    # -- whitespace, comments, pragmas ------------------------------------
+
+    def _skip_trivia(self) -> Token | None:
+        """Skip whitespace/comments; return a PRAGMA token if one is found."""
+        text, n = self.text, self.n
+        while self.pos < n:
+            ch = text[self.pos]
+            if ch in " \t\r\n\f\v":
+                self.pos += 1
+            elif ch == "/" and self._peek(1) == "/":
+                nl = text.find("\n", self.pos)
+                self.pos = n if nl < 0 else nl + 1
+            elif ch == "/" and self._peek(1) == "*":
+                end = text.find("*/", self.pos + 2)
+                if end < 0:
+                    raise self._error("unterminated block comment")
+                self.pos = end + 2
+            elif ch == "#":
+                tok = self._lex_hash_line()
+                if tok is not None:
+                    return tok
+                # ignored #include / #define line: keep skipping trivia
+            else:
+                return None
+        return None
+
+    def _lex_hash_line(self) -> Token | None:
+        start = self.pos
+        nl = self.text.find("\n", self.pos)
+        end = self.n if nl < 0 else nl
+        line = self.text[start:end].strip()
+        self.pos = end
+        if not line.startswith("#"):  # pragma: no cover - defensive
+            raise self._error("internal: expected '#' line", start)
+        body = line[1:].strip()
+        if body.startswith("pragma"):
+            payload = body[len("pragma"):].strip()
+            return Token(TokKind.PRAGMA, payload, self.src.location(start))
+        if body.startswith("include") or body.startswith("define"):
+            # Tolerated and ignored: the paper's listings carry includes.
+            return None
+        raise self._error(f"unsupported preprocessor directive: {line!r}", start)
+
+    def _make_eof(self) -> Token:
+        return Token(TokKind.EOF, "", self.src.location(self.n))
+
+    # -- literals ----------------------------------------------------------
+
+    def _lex_number(self) -> Token:
+        start = self.pos
+        text, n = self.text, self.n
+        is_float = False
+        if text[self.pos] == "0" and self.pos + 1 < n and text[self.pos + 1] in "xX":
+            self.pos += 2
+            while self.pos < n and text[self.pos] in _HEX_DIGITS:
+                self.pos += 1
+            if self.pos == start + 2:
+                raise self._error("malformed hex literal", start)
+        else:
+            while self.pos < n and text[self.pos] in _DIGITS:
+                self.pos += 1
+            if self.pos < n and text[self.pos] == "." and self._peek(1) in _DIGITS | {""} | set("fF"):
+                is_float = True
+                self.pos += 1
+                while self.pos < n and text[self.pos] in _DIGITS:
+                    self.pos += 1
+            if self.pos < n and text[self.pos] in "eE":
+                save = self.pos
+                self.pos += 1
+                if self.pos < n and text[self.pos] in "+-":
+                    self.pos += 1
+                if self.pos < n and text[self.pos] in _DIGITS:
+                    is_float = True
+                    while self.pos < n and text[self.pos] in _DIGITS:
+                        self.pos += 1
+                else:
+                    self.pos = save
+        # suffixes
+        while self.pos < n and text[self.pos] in "uUlLfF":
+            if text[self.pos] in "fF":
+                is_float = True
+            self.pos += 1
+        spelled = text[start:self.pos]
+        kind = TokKind.FLOAT if is_float else TokKind.INT
+        return Token(kind, spelled, self.src.location(start))
+
+    def _lex_string(self, quote: str) -> Token:
+        start = self.pos
+        self.pos += 1
+        chars: list[str] = []
+        while True:
+            if self.pos >= self.n:
+                raise self._error("unterminated string literal", start)
+            ch = self.text[self.pos]
+            if ch == "\\":
+                if self.pos + 1 >= self.n:
+                    raise self._error("unterminated escape", start)
+                esc = self.text[self.pos + 1]
+                chars.append({"n": "\n", "t": "\t", "0": "\0"}.get(esc, esc))
+                self.pos += 2
+            elif ch == quote:
+                self.pos += 1
+                break
+            elif ch == "\n":
+                raise self._error("newline in string literal", start)
+            else:
+                chars.append(ch)
+                self.pos += 1
+        kind = TokKind.STRING if quote == '"' else TokKind.CHAR
+        return Token(kind, "".join(chars), self.src.location(start))
+
+    # -- main loop ---------------------------------------------------------
+
+    def next_token(self) -> Token:
+        pragma = self._skip_trivia()
+        if pragma is not None:
+            return pragma
+        if self.pos >= self.n:
+            return self._make_eof()
+        ch = self.text[self.pos]
+        start = self.pos
+        if ch in _IDENT_START:
+            while self.pos < self.n and self.text[self.pos] in _IDENT_CONT:
+                self.pos += 1
+            word = self.text[start:self.pos]
+            kind = TokKind.KEYWORD if word in KEYWORDS else TokKind.IDENT
+            return Token(kind, word, self.src.location(start))
+        if ch in _DIGITS or (ch == "." and self._peek(1) in _DIGITS):
+            return self._lex_number()
+        if ch == '"' or ch == "'":
+            return self._lex_string(ch)
+        for punct in _PUNCT_BY_FIRST.get(ch, ()):
+            if self.text.startswith(punct, self.pos):
+                self.pos += len(punct)
+                return Token(TokKind.PUNCT, punct, self.src.location(start))
+        raise self._error(f"unexpected character {ch!r}")
+
+    def tokens(self) -> list[Token]:
+        out: list[Token] = []
+        while True:
+            tok = self.next_token()
+            out.append(tok)
+            if tok.kind is TokKind.EOF:
+                return out
+
+
+def tokenize(text: str, filename: str = "<string>") -> list[Token]:
+    """Tokenize MiniCUDA source text into a list ending with an EOF token."""
+    return Lexer(SourceFile(text, filename)).tokens()

@@ -1,0 +1,528 @@
+"""Recursive-descent parser for MiniCUDA.
+
+Grammar (informally)::
+
+    module      := (function | global-decl)*
+    function    := qualifiers type ident '(' params ')' compound
+    global-decl := '__device__' type declarators ';'
+    stmt        := decl | if | while | do-while | for | return | break
+                 | continue | compound | ';' | pragma stmt | expr ';'
+    expr        := assignment (C precedence ladder, right-assoc assigns,
+                   ternary, ++/--, casts, calls, launches, indexing)
+
+Kernel launches parse as :class:`LaunchExpr` from the ``<<<`` punctuator.
+``#pragma dp`` lines attach to the following statement as
+:class:`PragmaStmt`; other pragmas are ignored with a warning list.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import ParseError
+from .ast_nodes import (
+    Assign,
+    BinOp,
+    Block,
+    BoolLit,
+    Break,
+    BuiltinVar,
+    BUILTIN_VARS,
+    Call,
+    Cast,
+    Continue,
+    DeclStmt,
+    DoWhile,
+    EmptyStmt,
+    Expr,
+    ExprStmt,
+    FloatLit,
+    For,
+    FunctionDef,
+    GlobalDecl,
+    Ident,
+    If,
+    IncDec,
+    Index,
+    IntLit,
+    LaunchExpr,
+    Member,
+    Module,
+    Param,
+    PragmaStmt,
+    Return,
+    Stmt,
+    StringLit,
+    Ternary,
+    Type,
+    UnOp,
+    VarDeclarator,
+    While,
+)
+from .lexer import Lexer
+from .pragma import parse_dp_pragma
+from .source import SourceFile
+from .tokens import TokKind, Token
+
+_FUNCTION_QUALIFIERS = ("__global__", "__device__", "__host__")
+
+#: Binary operator precedence (C). Higher binds tighter.
+_BINOP_PREC = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6,
+    "!=": 6,
+    "<": 7,
+    ">": 7,
+    "<=": 7,
+    ">=": 7,
+    "<<": 8,
+    ">>": 8,
+    "+": 9,
+    "-": 9,
+    "*": 10,
+    "/": 10,
+    "%": 10,
+}
+
+_ASSIGN_OPS = ("=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>=")
+
+_TYPE_KEYWORDS = ("void", "int", "unsigned", "long", "float", "double", "bool", "char", "size_t")
+
+
+class Parser:
+    def __init__(self, text: str, filename: str = "<string>"):
+        self.src = SourceFile(text, filename)
+        self.tokens = Lexer(self.src).tokens()
+        self.pos = 0
+        #: pragmas that were not `dp` directives, kept for diagnostics
+        self.ignored_pragmas: list[Token] = []
+
+    # ---------------------------------------------------------------- utils
+
+    def peek(self, k: int = 0) -> Token:
+        i = min(self.pos + k, len(self.tokens) - 1)
+        return self.tokens[i]
+
+    def advance(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind is not TokKind.EOF:
+            self.pos += 1
+        return tok
+
+    def at_punct(self, text: str) -> bool:
+        return self.peek().is_punct(text)
+
+    def at_keyword(self, text: str) -> bool:
+        return self.peek().is_keyword(text)
+
+    def accept_punct(self, text: str) -> Optional[Token]:
+        if self.at_punct(text):
+            return self.advance()
+        return None
+
+    def accept_keyword(self, text: str) -> Optional[Token]:
+        if self.at_keyword(text):
+            return self.advance()
+        return None
+
+    def expect_punct(self, text: str) -> Token:
+        tok = self.peek()
+        if not tok.is_punct(text):
+            raise ParseError(f"expected {text!r}, got {tok.text!r}", tok.loc)
+        return self.advance()
+
+    def expect_keyword(self, text: str) -> Token:
+        tok = self.peek()
+        if not tok.is_keyword(text):
+            raise ParseError(f"expected {text!r}, got {tok.text!r}", tok.loc)
+        return self.advance()
+
+    def expect_ident(self) -> Token:
+        tok = self.peek()
+        if tok.kind is not TokKind.IDENT:
+            raise ParseError(f"expected identifier, got {tok.text!r}", tok.loc)
+        return self.advance()
+
+    # ---------------------------------------------------------------- types
+
+    def at_type(self, k: int = 0) -> bool:
+        tok = self.peek(k)
+        return tok.kind is TokKind.KEYWORD and tok.text in _TYPE_KEYWORDS
+
+    def parse_type(self) -> Type:
+        tok = self.peek()
+        if not self.at_type():
+            raise ParseError(f"expected type, got {tok.text!r}", tok.loc)
+        base = self.advance().text
+        if base == "unsigned":
+            # `unsigned` / `unsigned int` / `unsigned long`
+            if self.at_keyword("int") or self.at_keyword("long") or self.at_keyword("char"):
+                self.advance()
+            base = "uint"
+        elif base == "long":
+            # `long` / `long long` / `long int`
+            if self.at_keyword("long") or self.at_keyword("int"):
+                self.advance()
+        ptr = 0
+        while True:
+            if self.accept_punct("*"):
+                ptr += 1
+            elif self.at_keyword("const") or self.at_keyword("__restrict__"):
+                self.advance()
+            else:
+                break
+        return Type(base, ptr)
+
+    # ---------------------------------------------------------------- module
+
+    def parse_module(self) -> Module:
+        decls = []
+        start = self.peek().loc
+        while self.peek().kind is not TokKind.EOF:
+            tok = self.peek()
+            if tok.kind is TokKind.PRAGMA:
+                # file-scope pragma: must not be a dp directive (those attach
+                # to statements); record and skip.
+                self.ignored_pragmas.append(tok)
+                self.advance()
+                continue
+            decls.append(self.parse_top_level())
+        return Module(decls, loc=start)
+
+    def parse_top_level(self):
+        loc = self.peek().loc
+        qualifiers = set()
+        while self.peek().kind is TokKind.KEYWORD and self.peek().text in (
+            _FUNCTION_QUALIFIERS + ("extern", "static", "const")
+        ):
+            word = self.advance().text
+            if word in _FUNCTION_QUALIFIERS:
+                qualifiers.add(word)
+        typ = self.parse_type()
+        name = self.expect_ident().text
+        if self.at_punct("("):
+            return self.parse_function_rest(name, typ, frozenset(qualifiers), loc)
+        # file-scope variable
+        init = None
+        if self.accept_punct("="):
+            init = self.parse_assignment()
+        self.expect_punct(";")
+        return GlobalDecl(name, typ, init, device="__device__" in qualifiers, loc=loc)
+
+    def parse_function_rest(self, name: str, ret_type: Type, qualifiers, loc) -> FunctionDef:
+        self.expect_punct("(")
+        params: list[Param] = []
+        if not self.at_punct(")"):
+            while True:
+                ploc = self.peek().loc
+                const = bool(self.accept_keyword("const"))
+                ptype = self.parse_type()
+                restrict = False
+                pname = self.expect_ident().text
+                params.append(Param(pname, ptype, restrict=restrict, const=const, loc=ploc))
+                if not self.accept_punct(","):
+                    break
+        self.expect_punct(")")
+        body = self.parse_compound()
+        return FunctionDef(name, ret_type, params, body, qualifiers=qualifiers, loc=loc)
+
+    # ---------------------------------------------------------------- stmts
+
+    def parse_compound(self) -> Block:
+        open_tok = self.expect_punct("{")
+        stmts: list[Stmt] = []
+        while not self.at_punct("}"):
+            if self.peek().kind is TokKind.EOF:
+                raise ParseError("unexpected end of file in block", self.peek().loc)
+            stmts.append(self.parse_statement())
+        self.expect_punct("}")
+        return Block(stmts, loc=open_tok.loc)
+
+    def parse_statement(self) -> Stmt:
+        tok = self.peek()
+        if tok.kind is TokKind.PRAGMA:
+            self.advance()
+            directive = parse_dp_pragma(tok.text, tok.loc)
+            if directive is None:
+                self.ignored_pragmas.append(tok)
+                return self.parse_statement()
+            stmt = self.parse_statement()
+            return PragmaStmt(directive, stmt, loc=tok.loc)
+        if tok.is_punct("{"):
+            return self.parse_compound()
+        if tok.is_punct(";"):
+            self.advance()
+            return EmptyStmt(loc=tok.loc)
+        if tok.is_keyword("if"):
+            return self.parse_if()
+        if tok.is_keyword("while"):
+            return self.parse_while()
+        if tok.is_keyword("do"):
+            return self.parse_do_while()
+        if tok.is_keyword("for"):
+            return self.parse_for()
+        if tok.is_keyword("return"):
+            self.advance()
+            value = None if self.at_punct(";") else self.parse_expr()
+            self.expect_punct(";")
+            return Return(value, loc=tok.loc)
+        if tok.is_keyword("break"):
+            self.advance()
+            self.expect_punct(";")
+            return Break(loc=tok.loc)
+        if tok.is_keyword("continue"):
+            self.advance()
+            self.expect_punct(";")
+            return Continue(loc=tok.loc)
+        if tok.is_keyword("__shared__") or tok.is_keyword("const") or self.at_type():
+            return self.parse_decl_stmt()
+        expr = self.parse_expr()
+        self.expect_punct(";")
+        return ExprStmt(expr, loc=tok.loc)
+
+    def parse_decl_stmt(self) -> DeclStmt:
+        loc = self.peek().loc
+        shared = bool(self.accept_keyword("__shared__"))
+        const = bool(self.accept_keyword("const"))
+        if not const:
+            const = bool(self.accept_keyword("const"))
+        base = self.parse_type()
+        declarators: list[VarDeclarator] = []
+        while True:
+            dloc = self.peek().loc
+            extra_ptr = 0
+            while self.accept_punct("*"):
+                extra_ptr += 1
+            name = self.expect_ident().text
+            dtype = Type(base.base, base.ptr + extra_ptr)
+            array_size = None
+            if self.accept_punct("["):
+                array_size = self.parse_expr()
+                self.expect_punct("]")
+            init = None
+            if self.accept_punct("="):
+                init = self.parse_assignment()
+            declarators.append(VarDeclarator(name, dtype, array_size, init, loc=dloc))
+            if not self.accept_punct(","):
+                break
+        self.expect_punct(";")
+        return DeclStmt(declarators, shared=shared, const=const, loc=loc)
+
+    def parse_if(self) -> If:
+        tok = self.expect_keyword("if")
+        self.expect_punct("(")
+        cond = self.parse_expr()
+        self.expect_punct(")")
+        then = self.parse_statement()
+        els = None
+        if self.accept_keyword("else"):
+            els = self.parse_statement()
+        return If(cond, then, els, loc=tok.loc)
+
+    def parse_while(self) -> While:
+        tok = self.expect_keyword("while")
+        self.expect_punct("(")
+        cond = self.parse_expr()
+        self.expect_punct(")")
+        body = self.parse_statement()
+        return While(cond, body, loc=tok.loc)
+
+    def parse_do_while(self) -> DoWhile:
+        tok = self.expect_keyword("do")
+        body = self.parse_statement()
+        self.expect_keyword("while")
+        self.expect_punct("(")
+        cond = self.parse_expr()
+        self.expect_punct(")")
+        self.expect_punct(";")
+        return DoWhile(body, cond, loc=tok.loc)
+
+    def parse_for(self) -> For:
+        tok = self.expect_keyword("for")
+        self.expect_punct("(")
+        init: Optional[Stmt] = None
+        if self.at_punct(";"):
+            self.advance()
+        elif self.at_type() or self.at_keyword("const"):
+            init = self.parse_decl_stmt()
+        else:
+            expr = self.parse_expr()
+            self.expect_punct(";")
+            init = ExprStmt(expr, loc=tok.loc)
+        cond = None if self.at_punct(";") else self.parse_expr()
+        self.expect_punct(";")
+        step = None if self.at_punct(")") else self.parse_expr()
+        self.expect_punct(")")
+        body = self.parse_statement()
+        return For(init, cond, step, body, loc=tok.loc)
+
+    # ---------------------------------------------------------------- exprs
+
+    def parse_expr(self) -> Expr:
+        expr = self.parse_assignment()
+        while self.at_punct(","):
+            # comma operator: keep as a right-nested BinOp
+            loc = self.advance().loc
+            right = self.parse_assignment()
+            expr = BinOp(",", expr, right, loc=loc)
+        return expr
+
+    def parse_assignment(self) -> Expr:
+        left = self.parse_ternary()
+        tok = self.peek()
+        if tok.kind is TokKind.PUNCT and tok.text in _ASSIGN_OPS:
+            self.advance()
+            value = self.parse_assignment()
+            return Assign(tok.text, left, value, loc=tok.loc)
+        return left
+
+    def parse_ternary(self) -> Expr:
+        cond = self.parse_binary(1)
+        if self.at_punct("?"):
+            loc = self.advance().loc
+            then = self.parse_assignment()
+            self.expect_punct(":")
+            els = self.parse_assignment()
+            return Ternary(cond, then, els, loc=loc)
+        return cond
+
+    def parse_binary(self, min_prec: int) -> Expr:
+        left = self.parse_unary()
+        while True:
+            tok = self.peek()
+            if tok.kind is not TokKind.PUNCT:
+                return left
+            prec = _BINOP_PREC.get(tok.text)
+            if prec is None or prec < min_prec:
+                return left
+            self.advance()
+            right = self.parse_binary(prec + 1)
+            left = BinOp(tok.text, left, right, loc=tok.loc)
+
+    def parse_unary(self) -> Expr:
+        tok = self.peek()
+        if tok.kind is TokKind.PUNCT and tok.text in ("-", "+", "!", "~", "*", "&"):
+            self.advance()
+            operand = self.parse_unary()
+            return UnOp(tok.text, operand, loc=tok.loc)
+        if tok.is_punct("++") or tok.is_punct("--"):
+            self.advance()
+            operand = self.parse_unary()
+            return IncDec(tok.text, operand, prefix=True, loc=tok.loc)
+        if tok.is_punct("(") and self.at_type(1):
+            # cast: `(int)x`, `(float*)p`
+            self.advance()
+            typ = self.parse_type()
+            self.expect_punct(")")
+            operand = self.parse_unary()
+            return Cast(typ, operand, loc=tok.loc)
+        if tok.is_keyword("sizeof"):
+            self.advance()
+            self.expect_punct("(")
+            typ = self.parse_type()
+            self.expect_punct(")")
+            sizes = {"char": 1, "bool": 1, "int": 4, "uint": 4, "float": 4,
+                     "long": 8, "double": 8, "size_t": 8}
+            nbytes = 8 if typ.is_pointer else sizes.get(typ.base, 4)
+            return IntLit(nbytes, loc=tok.loc)
+        return self.parse_postfix()
+
+    def parse_postfix(self) -> Expr:
+        expr = self.parse_primary()
+        while True:
+            tok = self.peek()
+            if tok.is_punct("["):
+                self.advance()
+                index = self.parse_expr()
+                self.expect_punct("]")
+                expr = Index(expr, index, loc=tok.loc)
+            elif tok.is_punct("."):
+                self.advance()
+                name = self.expect_ident().text
+                expr = Member(expr, name, loc=tok.loc)
+            elif tok.is_punct("->"):
+                self.advance()
+                name = self.expect_ident().text
+                expr = Member(UnOp("*", expr, loc=tok.loc), name, loc=tok.loc)
+            elif tok.is_punct("++") or tok.is_punct("--"):
+                self.advance()
+                expr = IncDec(tok.text, expr, prefix=False, loc=tok.loc)
+            else:
+                return expr
+
+    def parse_call_args(self) -> list[Expr]:
+        self.expect_punct("(")
+        args: list[Expr] = []
+        if not self.at_punct(")"):
+            while True:
+                args.append(self.parse_assignment())
+                if not self.accept_punct(","):
+                    break
+        self.expect_punct(")")
+        return args
+
+    def parse_primary(self) -> Expr:
+        tok = self.peek()
+        if tok.kind is TokKind.INT:
+            self.advance()
+            text = tok.text.rstrip("uUlL")
+            value = int(text, 16) if text.lower().startswith("0x") else int(text)
+            return IntLit(value, loc=tok.loc)
+        if tok.kind is TokKind.FLOAT:
+            self.advance()
+            return FloatLit(float(tok.text.rstrip("fFlL")), loc=tok.loc)
+        if tok.kind is TokKind.STRING:
+            self.advance()
+            return StringLit(tok.text, loc=tok.loc)
+        if tok.kind is TokKind.CHAR:
+            self.advance()
+            return IntLit(ord(tok.text) if tok.text else 0, loc=tok.loc)
+        if tok.is_keyword("true") or tok.is_keyword("false"):
+            self.advance()
+            return BoolLit(tok.text == "true", loc=tok.loc)
+        if tok.is_punct("("):
+            self.advance()
+            expr = self.parse_expr()
+            self.expect_punct(")")
+            return expr
+        if tok.kind is TokKind.IDENT:
+            self.advance()
+            name = tok.text
+            if name in BUILTIN_VARS and self.at_punct("."):
+                self.advance()
+                dim = self.expect_ident().text
+                if dim not in ("x", "y", "z"):
+                    raise ParseError(f"{name}.{dim}: expected .x/.y/.z", tok.loc)
+                return BuiltinVar(name, dim, loc=tok.loc)
+            if self.at_punct("<<<"):
+                return self.parse_launch(name, tok)
+            if self.at_punct("("):
+                args = self.parse_call_args()
+                return Call(name, args, loc=tok.loc)
+            return Ident(name, loc=tok.loc)
+        raise ParseError(f"unexpected token {tok.text!r}", tok.loc)
+
+    def parse_launch(self, callee: str, tok: Token) -> LaunchExpr:
+        self.expect_punct("<<<")
+        grid = self.parse_assignment()
+        self.expect_punct(",")
+        block = self.parse_assignment()
+        shared = stream = None
+        if self.accept_punct(","):
+            shared = self.parse_assignment()
+            if self.accept_punct(","):
+                stream = self.parse_assignment()
+        self.expect_punct(">>>")
+        args = self.parse_call_args()
+        return LaunchExpr(callee, grid, block, args, shared, stream, loc=tok.loc)
+
+
+def parse(text: str, filename: str = "<string>") -> Module:
+    """Parse MiniCUDA source text into a :class:`Module`."""
+    parser = Parser(text, filename)
+    module = parser.parse_module()
+    return module

@@ -1,0 +1,255 @@
+"""Parser for the paper's workload-consolidation compiler directive.
+
+Table I of the paper defines the directive grammar::
+
+    #pragma dp clause+
+
+    consldt(granularity)                granularity: warp | block | grid
+    buffer(type: default|halloc|custom
+           [, perBufferSize: int|var]
+           [, totalSize: int])          optional
+    work(varlist)                       indexes/pointers to buffer
+    threads(int)                        optional consolidated-kernel threads
+    blocks(int)                         optional consolidated-kernel blocks
+
+``consldt`` and ``work`` are mandatory, everything else optional, matching
+the "Optional" column of Table I.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from ..errors import PragmaError
+from .source import SourceLocation, UNKNOWN_LOC
+
+GRANULARITIES = ("warp", "block", "grid")
+BUFFER_TYPES = ("default", "halloc", "custom")
+
+#: Default size of the pre-allocated memory pool (bytes) — §IV.E:
+#: "The size of the pre-allocated memory pool (500MB by default)".
+DEFAULT_TOTAL_SIZE = 500 * 1024 * 1024
+
+#: §IV.E: const "that estimates the number of work items assigned to a
+#: single thread" used by the perBufferSize prediction (default value: 4).
+PER_THREAD_WORK_CONST = 4
+
+
+@dataclass(frozen=True)
+class DpDirective:
+    """A parsed ``#pragma dp`` directive."""
+
+    granularity: str
+    work: tuple[str, ...]
+    buffer_type: str = "custom"
+    per_buffer_size: Optional[Union[int, str]] = None  # int or variable name
+    total_size: int = DEFAULT_TOTAL_SIZE
+    threads: Optional[int] = None
+    blocks: Optional[int] = None
+    loc: SourceLocation = field(default=UNKNOWN_LOC, compare=False)
+
+    def __post_init__(self):
+        if self.granularity not in GRANULARITIES:
+            raise PragmaError(
+                f"consldt granularity must be one of {GRANULARITIES}, "
+                f"got {self.granularity!r}",
+                self.loc,
+            )
+        if self.buffer_type not in BUFFER_TYPES:
+            raise PragmaError(
+                f"buffer type must be one of {BUFFER_TYPES}, got {self.buffer_type!r}",
+                self.loc,
+            )
+        if not self.work:
+            raise PragmaError("work() clause requires at least one variable", self.loc)
+
+    def describe(self) -> str:
+        parts = [f"consldt({self.granularity})"]
+        buf = [f"type: {self.buffer_type}"]
+        if self.per_buffer_size is not None:
+            buf.append(f"perBufferSize: {self.per_buffer_size}")
+        if self.total_size != DEFAULT_TOTAL_SIZE:
+            buf.append(f"totalSize: {self.total_size}")
+        parts.append(f"buffer({', '.join(buf)})")
+        parts.append(f"work({', '.join(self.work)})")
+        if self.threads is not None:
+            parts.append(f"threads({self.threads})")
+        if self.blocks is not None:
+            parts.append(f"blocks({self.blocks})")
+        return "dp " + " ".join(parts)
+
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<ident>[A-Za-z_][A-Za-z_0-9]*)|(?P<int>\d+)|(?P<punct>[():,]))"
+)
+
+
+def _scan(payload: str, loc: SourceLocation) -> list[tuple[str, str]]:
+    tokens: list[tuple[str, str]] = []
+    pos = 0
+    while pos < len(payload):
+        m = _TOKEN_RE.match(payload, pos)
+        if m is None:
+            if payload[pos:].strip() == "":
+                break
+            raise PragmaError(
+                f"bad character in #pragma dp near {payload[pos:pos + 10]!r}", loc
+            )
+        pos = m.end()
+        if m.lastgroup == "ident":
+            tokens.append(("ident", m.group("ident")))
+        elif m.lastgroup == "int":
+            tokens.append(("int", m.group("int")))
+        else:
+            tokens.append(("punct", m.group("punct")))
+    return tokens
+
+
+class _ClauseParser:
+    def __init__(self, tokens: list[tuple[str, str]], loc: SourceLocation):
+        self.tokens = tokens
+        self.pos = 0
+        self.loc = loc
+
+    def done(self) -> bool:
+        return self.pos >= len(self.tokens)
+
+    def peek(self):
+        return self.tokens[self.pos] if not self.done() else ("eof", "")
+
+    def next(self):
+        tok = self.peek()
+        self.pos += 1
+        return tok
+
+    def expect(self, kind: str, text: Optional[str] = None):
+        tok = self.next()
+        if tok[0] != kind or (text is not None and tok[1] != text):
+            want = text or kind
+            raise PragmaError(f"expected {want!r} in #pragma dp, got {tok[1]!r}", self.loc)
+        return tok
+
+    def parse_args(self) -> list[list[tuple[str, str]]]:
+        """Parse '( arg (, arg)* )' where each arg is a token run."""
+        self.expect("punct", "(")
+        groups: list[list[tuple[str, str]]] = [[]]
+        depth = 1
+        while True:
+            tok = self.next()
+            if tok[0] == "eof":
+                raise PragmaError("unterminated clause in #pragma dp", self.loc)
+            if tok == ("punct", "("):
+                depth += 1
+            elif tok == ("punct", ")"):
+                depth -= 1
+                if depth == 0:
+                    break
+            elif tok == ("punct", ",") and depth == 1:
+                groups.append([])
+                continue
+            groups[-1].append(tok)
+        if groups == [[]]:
+            return []
+        return groups
+
+
+def parse_dp_pragma(payload: str, loc: SourceLocation = UNKNOWN_LOC) -> Optional[DpDirective]:
+    """Parse the payload of a ``#pragma`` token.
+
+    Returns ``None`` when the pragma is not a ``dp`` directive (e.g.
+    ``#pragma unroll``), so foreign pragmas pass through untouched.
+    Raises :class:`PragmaError` on a malformed ``dp`` directive.
+    """
+    tokens = _scan(payload, loc)
+    if not tokens or tokens[0] != ("ident", "dp"):
+        return None
+    p = _ClauseParser(tokens, loc)
+    p.next()  # 'dp'
+
+    granularity: Optional[str] = None
+    work: Optional[tuple[str, ...]] = None
+    buffer_type = "custom"
+    per_buffer_size: Optional[Union[int, str]] = None
+    total_size = DEFAULT_TOTAL_SIZE
+    threads: Optional[int] = None
+    blocks: Optional[int] = None
+    seen: set[str] = set()
+
+    while not p.done():
+        kind, name = p.next()
+        if kind != "ident":
+            raise PragmaError(f"expected clause name, got {name!r}", loc)
+        if name in seen:
+            raise PragmaError(f"duplicate {name!r} clause in #pragma dp", loc)
+        seen.add(name)
+
+        if name == "consldt":
+            args = p.parse_args()
+            if len(args) != 1 or len(args[0]) != 1 or args[0][0][0] != "ident":
+                raise PragmaError("consldt expects a single granularity name", loc)
+            granularity = args[0][0][1]
+        elif name == "work":
+            args = p.parse_args()
+            vars_: list[str] = []
+            for group in args:
+                if len(group) != 1 or group[0][0] != "ident":
+                    raise PragmaError("work() entries must be variable names", loc)
+                vars_.append(group[0][1])
+            work = tuple(vars_)
+        elif name == "buffer":
+            for group in p.parse_args():
+                key, value = _parse_keyval(group, loc)
+                if key == "type":
+                    if not isinstance(value, str):
+                        raise PragmaError("buffer type must be a name", loc)
+                    buffer_type = value
+                elif key == "perBufferSize":
+                    per_buffer_size = value
+                elif key == "totalSize":
+                    if not isinstance(value, int):
+                        raise PragmaError("totalSize must be an integer", loc)
+                    total_size = value
+                else:
+                    raise PragmaError(f"unknown buffer() argument {key!r}", loc)
+        elif name == "threads":
+            threads = _parse_single_int(p, "threads", loc)
+        elif name == "blocks":
+            blocks = _parse_single_int(p, "blocks", loc)
+        else:
+            raise PragmaError(f"unknown #pragma dp clause {name!r}", loc)
+
+    if granularity is None:
+        raise PragmaError("#pragma dp requires a consldt(...) clause", loc)
+    if work is None:
+        raise PragmaError("#pragma dp requires a work(...) clause", loc)
+
+    return DpDirective(
+        granularity=granularity,
+        work=work,
+        buffer_type=buffer_type,
+        per_buffer_size=per_buffer_size,
+        total_size=total_size,
+        threads=threads,
+        blocks=blocks,
+        loc=loc,
+    )
+
+
+def _parse_keyval(group: list[tuple[str, str]], loc) -> tuple[str, Union[int, str]]:
+    """Parse a `key : value` token group from a buffer() clause."""
+    if len(group) != 3 or group[0][0] != "ident" or group[1] != ("punct", ":"):
+        text = " ".join(t[1] for t in group)
+        raise PragmaError(f"expected 'key: value' in buffer(), got {text!r}", loc)
+    key = group[0][1]
+    kind, text = group[2]
+    value: Union[int, str] = int(text) if kind == "int" else text
+    return key, value
+
+
+def _parse_single_int(p: _ClauseParser, clause: str, loc) -> int:
+    args = p.parse_args()
+    if len(args) != 1 or len(args[0]) != 1 or args[0][0][0] != "int":
+        raise PragmaError(f"{clause}() expects a single integer", loc)
+    return int(args[0][0][1])

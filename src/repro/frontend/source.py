@@ -1,0 +1,66 @@
+"""Source-file bookkeeping for the MiniCUDA frontend.
+
+Holds the raw text plus helpers to map byte offsets to ``line:col`` pairs so
+that every token, AST node and diagnostic can point back at the program text.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SourceLocation:
+    """A ``file:line:col`` position (1-based line and column)."""
+
+    filename: str
+    line: int
+    col: int
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"{self.filename}:{self.line}:{self.col}"
+
+
+UNKNOWN_LOC = SourceLocation("<unknown>", 0, 0)
+
+
+class SourceFile:
+    """A MiniCUDA translation unit.
+
+    Parameters
+    ----------
+    text:
+        The program text.
+    filename:
+        Name used in diagnostics; defaults to ``<string>``.
+    """
+
+    def __init__(self, text: str, filename: str = "<string>"):
+        self.text = text
+        self.filename = filename
+        # Offsets of the first character of each line, for offset->line maps.
+        self._line_starts = [0]
+        for i, ch in enumerate(text):
+            if ch == "\n":
+                self._line_starts.append(i + 1)
+
+    def location(self, offset: int) -> SourceLocation:
+        """Map a 0-based byte offset to a :class:`SourceLocation`."""
+        offset = max(0, min(offset, len(self.text)))
+        line = bisect.bisect_right(self._line_starts, offset) - 1
+        col = offset - self._line_starts[line]
+        return SourceLocation(self.filename, line + 1, col + 1)
+
+    def line_text(self, line: int) -> str:
+        """Return the text of a 1-based line (without trailing newline)."""
+        if line < 1 or line > len(self._line_starts):
+            return ""
+        start = self._line_starts[line - 1]
+        end = self.text.find("\n", start)
+        if end < 0:
+            end = len(self.text)
+        return self.text[start:end]
+
+    def __len__(self) -> int:
+        return len(self.text)

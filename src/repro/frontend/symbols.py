@@ -1,0 +1,127 @@
+"""Lexical scopes and builtin signatures for MiniCUDA semantic analysis."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import TypeCheckError
+from .ast_nodes import BOOL, FLOAT, INT, Type, UINT, VOID
+
+
+@dataclass
+class Symbol:
+    name: str
+    type: Type
+    kind: str = "var"  # var | param | shared-array | local-array | global
+    array_size: Optional[object] = None  # Expr for arrays
+
+
+class Scope:
+    """A chained lexical scope."""
+
+    def __init__(self, parent: Optional["Scope"] = None):
+        self.parent = parent
+        self.symbols: dict[str, Symbol] = {}
+
+    def declare(self, sym: Symbol, loc=None) -> Symbol:
+        if sym.name in self.symbols:
+            raise TypeCheckError(f"redeclaration of {sym.name!r}", loc)
+        self.symbols[sym.name] = sym
+        return sym
+
+    def lookup(self, name: str) -> Optional[Symbol]:
+        scope: Optional[Scope] = self
+        while scope is not None:
+            sym = scope.symbols.get(name)
+            if sym is not None:
+                return sym
+            scope = scope.parent
+        return None
+
+    def child(self) -> "Scope":
+        return Scope(self)
+
+
+@dataclass(frozen=True)
+class BuiltinFn:
+    """Signature of a builtin/intrinsic function.
+
+    ``params`` of ``None`` means variadic (printf). A parameter type of
+    ``None`` means "any arithmetic". ``generic_ptr`` parameters accept a
+    pointer of any pointee type; the result type then follows the pointee.
+    """
+
+    name: str
+    ret: Optional[Type]
+    params: Optional[tuple] = None
+    result_follows_pointee: bool = False
+
+
+#: CUDA builtins available in every MiniCUDA program.  Atomics follow the
+#: CUDA convention: first argument is an address in global memory, result is
+#: the *old* value.
+_PTR = "ptr"  # marker: pointer to arithmetic type
+_ANY = None  # marker: any arithmetic type
+
+BUILTIN_FUNCTIONS: dict[str, BuiltinFn] = {}
+
+
+def _register(name, ret, params=None, follows=False):
+    BUILTIN_FUNCTIONS[name] = BuiltinFn(name, ret, params, follows)
+
+
+_register("__syncthreads", VOID, ())
+_register("__syncwarp", VOID, ())
+_register("__threadfence", VOID, ())
+_register("cudaDeviceSynchronize", INT, ())
+
+for _atomic in ("atomicAdd", "atomicSub", "atomicMin", "atomicMax", "atomicExch",
+                "atomicOr", "atomicAnd"):
+    _register(_atomic, None, (_PTR, _ANY), follows=True)
+_register("atomicCAS", None, (_PTR, _ANY, _ANY), follows=True)
+
+_register("min", None, (_ANY, _ANY), follows=False)
+_register("max", None, (_ANY, _ANY), follows=False)
+_register("abs", INT, (_ANY,))
+_register("fabsf", FLOAT, (_ANY,))
+_register("fabs", Type("double"), (_ANY,))
+_register("sqrtf", FLOAT, (_ANY,))
+_register("sqrt", Type("double"), (_ANY,))
+_register("expf", FLOAT, (_ANY,))
+_register("logf", FLOAT, (_ANY,))
+_register("powf", FLOAT, (_ANY, _ANY))
+_register("floorf", FLOAT, (_ANY,))
+_register("ceilf", FLOAT, (_ANY,))
+_register("printf", INT, None)
+_register("assert", VOID, (_ANY,))
+
+#: Integer "macros" treated as predeclared constants.
+BUILTIN_CONSTANTS: dict[str, tuple[Type, int]] = {
+    "INT_MAX": (INT, 2**31 - 1),
+    "INT_MIN": (INT, -(2**31)),
+    "UINT_MAX": (UINT, 2**32 - 1),
+    "FLT_MAX": (FLOAT, 3.4028234663852886e38),
+    "NULL": (Type("void", 1), 0),
+}
+
+
+#: Device-runtime intrinsics injected by the consolidation compiler
+#: (see repro/runtime/devlib.py for semantics). Registered here so that
+#: generated code typechecks with the same checker as user code.
+def register_runtime_intrinsics() -> None:
+    _register("__dp_lane", INT, ())
+    _register("__dp_warp_id", INT, ())
+    _register("__dp_buf_acquire", INT, (_ANY, _ANY, _ANY))
+    _register("__dp_buf_push1", INT, (_ANY, _ANY))
+    _register("__dp_buf_push2", INT, (_ANY, _ANY, _ANY))
+    _register("__dp_buf_push3", INT, (_ANY, _ANY, _ANY, _ANY))
+    _register("__dp_buf_push4", INT, (_ANY, _ANY, _ANY, _ANY, _ANY))
+    _register("__dp_buf_size", INT, (_ANY,))
+    _register("__dp_buf_get", INT, (_ANY, _ANY, _ANY))
+    _register("__dp_buf_reset", VOID, (_ANY,))
+    _register("__dp_grid_arrive_last", INT, ())
+    _register("__dp_buf_child", INT, ())
+
+
+register_runtime_intrinsics()

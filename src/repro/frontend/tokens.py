@@ -1,0 +1,139 @@
+"""Token kinds and the token record for the MiniCUDA lexer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from .source import SourceLocation
+
+
+class TokKind(enum.Enum):
+    IDENT = "ident"
+    INT = "int-literal"
+    FLOAT = "float-literal"
+    STRING = "string-literal"
+    CHAR = "char-literal"
+    KEYWORD = "keyword"
+    PUNCT = "punct"
+    PRAGMA = "pragma"  # a whole `#pragma ...` line, payload in `text`
+    EOF = "eof"
+
+
+#: Reserved words of the MiniCUDA language. CUDA qualifiers are keywords so
+#: that the parser can treat `__global__ void f()` uniformly.
+KEYWORDS = frozenset(
+    {
+        "void",
+        "int",
+        "unsigned",
+        "long",
+        "float",
+        "double",
+        "bool",
+        "char",
+        "size_t",
+        "if",
+        "else",
+        "while",
+        "do",
+        "for",
+        "return",
+        "break",
+        "continue",
+        "true",
+        "false",
+        "const",
+        "struct",
+        "__global__",
+        "__device__",
+        "__host__",
+        "__shared__",
+        "__restrict__",
+        "extern",
+        "static",
+        "sizeof",
+    }
+)
+
+#: Multi-character punctuators, longest first so the lexer can munch greedily.
+#: `<<<` / `>>>` are the CUDA kernel-launch delimiters.
+PUNCTUATORS = [
+    "<<<",
+    ">>>",
+    "<<=",
+    ">>=",
+    "...",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "&&",
+    "||",
+    "<<",
+    ">>",
+    "++",
+    "--",
+    "+=",
+    "-=",
+    "*=",
+    "/=",
+    "%=",
+    "&=",
+    "|=",
+    "^=",
+    "->",
+    "::",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "=",
+    "<",
+    ">",
+    "!",
+    "&",
+    "|",
+    "^",
+    "~",
+    "?",
+    ":",
+    ",",
+    ";",
+    "(",
+    ")",
+    "{",
+    "}",
+    "[",
+    "]",
+    ".",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token.
+
+    ``text`` is the exact source spelling except for :attr:`TokKind.PRAGMA`
+    tokens, where it is the directive payload after ``#pragma`` (e.g.
+    ``dp consldt(block) work(curr)``).
+    """
+
+    kind: TokKind
+    text: str
+    loc: SourceLocation
+
+    def is_punct(self, text: str) -> bool:
+        return self.kind is TokKind.PUNCT and self.text == text
+
+    def is_keyword(self, text: str) -> bool:
+        return self.kind is TokKind.KEYWORD and self.text == text
+
+    def is_ident(self, text: str | None = None) -> bool:
+        if self.kind is not TokKind.IDENT:
+            return False
+        return text is None or self.text == text
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.kind.value}({self.text!r})@{self.loc}"

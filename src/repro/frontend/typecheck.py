@@ -1,0 +1,505 @@
+"""Semantic analysis for MiniCUDA.
+
+Responsibilities:
+
+* resolve identifiers against lexical scopes (params, locals, file-scope
+  ``__device__`` globals, builtin constants);
+* infer a :class:`~repro.frontend.ast_nodes.Type` for every expression and
+  annotate the node as ``node.ty`` (transform passes and the backend read
+  these annotations);
+* enforce the launch rules: the callee must be a ``__global__`` kernel,
+  argument count must match, launches may only appear inside functions;
+* enforce lvalue rules for assignments and ``&``;
+* record per-function facts used by the consolidation compiler
+  (:class:`FunctionInfo`: launch sites, whether recursion occurs, ...).
+
+The checker is deliberately permissive about numeric conversions (C-style
+implicit int/float conversion), because the benchmark codes use them freely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import TypeCheckError
+from .ast_nodes import (
+    Assign,
+    BinOp,
+    Block,
+    BoolLit,
+    Break,
+    BuiltinVar,
+    Call,
+    Cast,
+    Continue,
+    DeclStmt,
+    DoWhile,
+    EmptyStmt,
+    Expr,
+    ExprStmt,
+    FloatLit,
+    For,
+    FunctionDef,
+    GlobalDecl,
+    Ident,
+    If,
+    IncDec,
+    Index,
+    IntLit,
+    LaunchExpr,
+    Member,
+    Module,
+    PragmaStmt,
+    Return,
+    Stmt,
+    StringLit,
+    Ternary,
+    Type,
+    UnOp,
+    VarDeclarator,
+    While,
+    walk,
+    BOOL,
+    FLOAT,
+    INT,
+    UINT,
+    VOID,
+)
+from .symbols import BUILTIN_CONSTANTS, BUILTIN_FUNCTIONS, Scope, Symbol
+
+
+@dataclass
+class LaunchSite:
+    """One kernel launch found in a function body."""
+
+    launch: LaunchExpr
+    enclosing_function: str
+
+    @property
+    def callee(self) -> str:
+        return self.launch.callee
+
+
+@dataclass
+class FunctionInfo:
+    """Facts about one function gathered during checking."""
+
+    fn: FunctionDef
+    launches: list[LaunchSite] = field(default_factory=list)
+    calls: set[str] = field(default_factory=set)
+    uses_syncthreads: bool = False
+    uses_device_sync: bool = False
+
+    @property
+    def is_recursive_launcher(self) -> bool:
+        return any(site.callee == self.fn.name for site in self.launches)
+
+
+@dataclass
+class ModuleInfo:
+    """Result of :func:`check_module`."""
+
+    module: Module
+    functions: dict[str, FunctionInfo]
+    globals: dict[str, GlobalDecl]
+
+    def info(self, name: str) -> FunctionInfo:
+        return self.functions[name]
+
+    def kernel_names(self) -> list[str]:
+        return [n for n, fi in self.functions.items() if fi.fn.is_kernel]
+
+
+class TypeChecker:
+    def __init__(self, module: Module, allow_reserved: bool = False):
+        self.module = module
+        #: compiler-generated modules may declare __dp_* names; user code
+        #: must not (the transforms would collide with them)
+        self.allow_reserved = allow_reserved
+        self.functions: dict[str, FunctionInfo] = {}
+        self.globals: dict[str, GlobalDecl] = {}
+        self.global_scope = Scope()
+        self._current: Optional[FunctionInfo] = None
+        self._loop_depth = 0
+
+    # ------------------------------------------------------------- driver
+
+    def check(self) -> ModuleInfo:
+        # Two passes: first declare all functions/globals, then check bodies,
+        # so forward references (and recursion) resolve.
+        for decl in self.module.decls:
+            if isinstance(decl, FunctionDef):
+                if decl.name in self.functions:
+                    raise TypeCheckError(f"redefinition of function {decl.name!r}", decl.loc)
+                if decl.name in BUILTIN_FUNCTIONS:
+                    raise TypeCheckError(
+                        f"function {decl.name!r} shadows a builtin", decl.loc
+                    )
+                self.functions[decl.name] = FunctionInfo(decl)
+            elif isinstance(decl, GlobalDecl):
+                if decl.name in self.globals:
+                    raise TypeCheckError(f"redefinition of global {decl.name!r}", decl.loc)
+                self.globals[decl.name] = decl
+                self.global_scope.declare(
+                    Symbol(decl.name, decl.type, kind="global"), decl.loc
+                )
+        for decl in self.module.decls:
+            if isinstance(decl, FunctionDef):
+                self.check_function(decl)
+        return ModuleInfo(self.module, self.functions, self.globals)
+
+    # ---------------------------------------------------------- functions
+
+    def check_function(self, fn: FunctionDef) -> None:
+        if fn.is_kernel and not fn.ret_type.is_void:
+            raise TypeCheckError(
+                f"kernel {fn.name!r} must return void, not {fn.ret_type}", fn.loc
+            )
+        self._current = self.functions[fn.name]
+        scope = self.global_scope.child()
+        for param in fn.params:
+            self._check_reserved(param.name, param.loc)
+            if param.type.is_void and not param.type.is_pointer:
+                raise TypeCheckError(f"parameter {param.name!r} has type void", param.loc)
+            scope.declare(Symbol(param.name, param.type, kind="param"), param.loc)
+        self.check_block(fn.body, scope)
+        self._current = None
+
+    # --------------------------------------------------------- statements
+
+    def check_block(self, block: Block, scope: Scope) -> None:
+        inner = scope.child()
+        for stmt in block.stmts:
+            self.check_stmt(stmt, inner)
+
+    def check_stmt(self, stmt: Stmt, scope: Scope) -> None:
+        if isinstance(stmt, Block):
+            self.check_block(stmt, scope)
+        elif isinstance(stmt, DeclStmt):
+            for d in stmt.declarators:
+                self.check_declarator(d, stmt, scope)
+        elif isinstance(stmt, ExprStmt):
+            self.infer(stmt.expr, scope)
+        elif isinstance(stmt, If):
+            self.infer(stmt.cond, scope)
+            self.check_stmt(stmt.then, scope.child())
+            if stmt.els is not None:
+                self.check_stmt(stmt.els, scope.child())
+        elif isinstance(stmt, While):
+            self.infer(stmt.cond, scope)
+            self._loop_depth += 1
+            self.check_stmt(stmt.body, scope.child())
+            self._loop_depth -= 1
+        elif isinstance(stmt, DoWhile):
+            self._loop_depth += 1
+            self.check_stmt(stmt.body, scope.child())
+            self._loop_depth -= 1
+            self.infer(stmt.cond, scope)
+        elif isinstance(stmt, For):
+            inner = scope.child()
+            if stmt.init is not None:
+                self.check_stmt(stmt.init, inner)
+            if stmt.cond is not None:
+                self.infer(stmt.cond, inner)
+            if stmt.step is not None:
+                self.infer(stmt.step, inner)
+            self._loop_depth += 1
+            self.check_stmt(stmt.body, inner.child())
+            self._loop_depth -= 1
+        elif isinstance(stmt, Return):
+            fn = self._current.fn
+            if stmt.value is not None:
+                vt = self.infer(stmt.value, scope)
+                if fn.ret_type.is_void:
+                    raise TypeCheckError(
+                        f"void function {fn.name!r} returns a value", stmt.loc
+                    )
+                self._require_convertible(vt, fn.ret_type, stmt.loc)
+            elif not fn.ret_type.is_void:
+                raise TypeCheckError(
+                    f"non-void function {fn.name!r} returns without a value", stmt.loc
+                )
+        elif isinstance(stmt, (Break, Continue)):
+            if self._loop_depth == 0:
+                raise TypeCheckError("break/continue outside of a loop", stmt.loc)
+        elif isinstance(stmt, PragmaStmt):
+            self.check_stmt(stmt.stmt, scope)
+        elif isinstance(stmt, EmptyStmt):
+            pass
+        else:  # pragma: no cover - defensive
+            raise TypeCheckError(f"unknown statement {type(stmt).__name__}", stmt.loc)
+
+    def check_declarator(self, d: VarDeclarator, stmt: DeclStmt, scope: Scope) -> None:
+        self._check_reserved(d.name, d.loc)
+        if d.type.is_void and not d.type.is_pointer:
+            raise TypeCheckError(f"variable {d.name!r} has type void", d.loc)
+        kind = "var"
+        declared = d.type
+        if d.array_size is not None:
+            self.infer(d.array_size, scope)
+            kind = "shared-array" if stmt.shared else "local-array"
+            declared = d.type.pointer_to()  # arrays decay to pointers
+        elif stmt.shared:
+            kind = "shared-array"  # scalar shared variable
+        if d.init is not None:
+            it = self.infer(d.init, scope)
+            self._require_convertible(it, declared, d.loc)
+        scope.declare(Symbol(d.name, declared, kind=kind, array_size=d.array_size), d.loc)
+
+    # -------------------------------------------------------- expressions
+
+    def infer(self, e: Expr, scope: Scope) -> Type:
+        ty = self._infer(e, scope)
+        e.ty = ty  # annotate for transforms/backend
+        return ty
+
+    def _infer(self, e: Expr, scope: Scope) -> Type:
+        if isinstance(e, IntLit):
+            return INT
+        if isinstance(e, FloatLit):
+            return FLOAT
+        if isinstance(e, BoolLit):
+            return BOOL
+        if isinstance(e, StringLit):
+            return Type("char", 1)
+        if isinstance(e, BuiltinVar):
+            return UINT
+        if isinstance(e, Ident):
+            sym = scope.lookup(e.name)
+            if sym is not None:
+                return sym.type
+            if e.name in BUILTIN_CONSTANTS:
+                return BUILTIN_CONSTANTS[e.name][0]
+            raise TypeCheckError(f"use of undeclared identifier {e.name!r}", e.loc)
+        if isinstance(e, UnOp):
+            return self._infer_unop(e, scope)
+        if isinstance(e, IncDec):
+            t = self.infer(e.operand, scope)
+            self._require_lvalue(e.operand, e.loc)
+            if not (t.is_arith or t.is_pointer):
+                raise TypeCheckError(f"cannot {e.op} a value of type {t}", e.loc)
+            return t
+        if isinstance(e, BinOp):
+            return self._infer_binop(e, scope)
+        if isinstance(e, Assign):
+            tt = self.infer(e.target, scope)
+            self._require_lvalue(e.target, e.loc)
+            vt = self.infer(e.value, scope)
+            if e.op == "=":
+                self._require_convertible(vt, tt, e.loc)
+            else:
+                if not ((tt.is_arith or tt.is_pointer) and vt.is_arith):
+                    raise TypeCheckError(
+                        f"invalid compound assignment {tt} {e.op} {vt}", e.loc
+                    )
+            return tt
+        if isinstance(e, Ternary):
+            self.infer(e.cond, scope)
+            t1 = self.infer(e.then, scope)
+            t2 = self.infer(e.els, scope)
+            return self._merge_arith(t1, t2, e.loc)
+        if isinstance(e, Call):
+            return self._infer_call(e, scope)
+        if isinstance(e, LaunchExpr):
+            return self._infer_launch(e, scope)
+        if isinstance(e, Index):
+            bt = self.infer(e.base, scope)
+            it = self.infer(e.index, scope)
+            if not bt.is_pointer:
+                raise TypeCheckError(f"cannot index non-pointer type {bt}", e.loc)
+            if not it.is_integer:
+                raise TypeCheckError(f"array index must be integer, got {it}", e.loc)
+            return bt.pointee()
+        if isinstance(e, Member):
+            raise TypeCheckError(
+                f"member access .{e.name} is not supported (MiniCUDA has no structs)",
+                e.loc,
+            )
+        if isinstance(e, Cast):
+            self.infer(e.expr, scope)
+            return e.type
+        raise TypeCheckError(f"unknown expression {type(e).__name__}", e.loc)
+
+    def _infer_unop(self, e: UnOp, scope: Scope) -> Type:
+        t = self.infer(e.operand, scope)
+        if e.op in ("-", "+"):
+            if not t.is_arith:
+                raise TypeCheckError(f"unary {e.op} on non-arithmetic type {t}", e.loc)
+            return t
+        if e.op == "!":
+            return BOOL
+        if e.op == "~":
+            if not t.is_integer:
+                raise TypeCheckError(f"~ on non-integer type {t}", e.loc)
+            return t
+        if e.op == "*":
+            if not t.is_pointer:
+                raise TypeCheckError(f"cannot dereference non-pointer type {t}", e.loc)
+            return t.pointee()
+        if e.op == "&":
+            self._require_lvalue(e.operand, e.loc)
+            if not isinstance(e.operand, (Index, UnOp)):
+                # &scalar_local is rejected: the backend has no way to alias
+                # Python locals. &arr[i] (and &*p) are the supported forms,
+                # which is all the benchmark codes (atomics) need.
+                raise TypeCheckError(
+                    "address-of is only supported on array elements (&a[i])", e.loc
+                )
+            return t.pointer_to()
+        raise TypeCheckError(f"unknown unary operator {e.op!r}", e.loc)
+
+    def _infer_binop(self, e: BinOp, scope: Scope) -> Type:
+        lt = self.infer(e.left, scope)
+        rt = self.infer(e.right, scope)
+        op = e.op
+        if op == ",":
+            return rt
+        if op in ("==", "!=", "<", ">", "<=", ">="):
+            return BOOL
+        if op in ("&&", "||"):
+            return BOOL
+        if op in ("&", "|", "^", "<<", ">>", "%"):
+            if not (lt.is_integer and rt.is_integer) and not (lt.is_pointer):
+                raise TypeCheckError(f"integer operator {op} on {lt}, {rt}", e.loc)
+            return lt
+        if op in ("+", "-"):
+            if lt.is_pointer and rt.is_integer:
+                return lt
+            if lt.is_integer and rt.is_pointer and op == "+":
+                return rt
+            if lt.is_pointer and rt.is_pointer and op == "-":
+                return INT
+        if not (lt.is_arith and rt.is_arith):
+            raise TypeCheckError(f"operator {op} on {lt}, {rt}", e.loc)
+        return self._merge_arith(lt, rt, e.loc)
+
+    def _infer_call(self, e: Call, scope: Scope) -> Type:
+        for a in e.args:
+            self.infer(a, scope)
+        builtin = BUILTIN_FUNCTIONS.get(e.callee)
+        if builtin is not None:
+            if e.callee == "__syncthreads":
+                self._current.uses_syncthreads = True
+            if e.callee == "cudaDeviceSynchronize":
+                self._current.uses_device_sync = True
+            if builtin.params is not None and len(e.args) != len(builtin.params):
+                raise TypeCheckError(
+                    f"{e.callee} expects {len(builtin.params)} arguments, "
+                    f"got {len(e.args)}",
+                    e.loc,
+                )
+            if builtin.params is not None:
+                for i, (p, a) in enumerate(zip(builtin.params, e.args)):
+                    at = a.ty
+                    if p == "ptr" and not at.is_pointer:
+                        raise TypeCheckError(
+                            f"argument {i + 1} of {e.callee} must be a pointer, got {at}",
+                            e.loc,
+                        )
+            if builtin.result_follows_pointee:
+                return e.args[0].ty.pointee()
+            if builtin.ret is None:  # min/max style: follows first arg
+                return e.args[0].ty
+            return builtin.ret
+        info = self.functions.get(e.callee)
+        if info is None:
+            raise TypeCheckError(f"call to undeclared function {e.callee!r}", e.loc)
+        fn = info.fn
+        if fn.is_kernel:
+            raise TypeCheckError(
+                f"kernel {e.callee!r} must be launched with <<<...>>>, not called",
+                e.loc,
+            )
+        if len(e.args) != len(fn.params):
+            raise TypeCheckError(
+                f"{e.callee} expects {len(fn.params)} arguments, got {len(e.args)}",
+                e.loc,
+            )
+        for param, arg in zip(fn.params, e.args):
+            self._require_convertible(arg.ty, param.type, e.loc)
+        self._current.calls.add(e.callee)
+        return fn.ret_type
+
+    def _infer_launch(self, e: LaunchExpr, scope: Scope) -> Type:
+        if self._current is None:  # pragma: no cover - parser prevents this
+            raise TypeCheckError("kernel launch outside of a function", e.loc)
+        gt = self.infer(e.grid, scope)
+        bt = self.infer(e.block, scope)
+        for t, what in ((gt, "grid"), (bt, "block")):
+            if not t.is_integer:
+                raise TypeCheckError(f"launch {what} dimension must be integer", e.loc)
+        if e.shared is not None:
+            self.infer(e.shared, scope)
+        if e.stream is not None:
+            self.infer(e.stream, scope)
+        for a in e.args:
+            self.infer(a, scope)
+        info = self.functions.get(e.callee)
+        if info is None:
+            raise TypeCheckError(f"launch of undeclared kernel {e.callee!r}", e.loc)
+        if not info.fn.is_kernel:
+            raise TypeCheckError(f"{e.callee!r} is not a __global__ kernel", e.loc)
+        if len(e.args) != len(info.fn.params):
+            raise TypeCheckError(
+                f"kernel {e.callee} expects {len(info.fn.params)} arguments, "
+                f"got {len(e.args)}",
+                e.loc,
+            )
+        for param, arg in zip(info.fn.params, e.args):
+            self._require_convertible(arg.ty, param.type, e.loc)
+        self._current.launches.append(LaunchSite(e, self._current.fn.name))
+        return VOID
+
+    # ------------------------------------------------------------ helpers
+
+    def _require_lvalue(self, e: Expr, loc) -> None:
+        if isinstance(e, Ident):
+            return
+        if isinstance(e, Index):
+            return
+        if isinstance(e, UnOp) and e.op == "*":
+            return
+        raise TypeCheckError("expression is not assignable", loc)
+
+    def _require_convertible(self, src: Type, dst: Type, loc) -> None:
+        if src == dst:
+            return
+        if src.is_arith and dst.is_arith:
+            return
+        if src.is_pointer and dst.is_pointer:
+            # permit void*/T* interconversion and same-depth pointer casts
+            if src.base == "void" or dst.base == "void" or src.base == dst.base:
+                return
+        if src.is_integer and dst.is_pointer:
+            return  # NULL-style literals
+        raise TypeCheckError(f"cannot convert {src} to {dst}", loc)
+
+    def _merge_arith(self, t1: Type, t2: Type, loc) -> Type:
+        if t1 == t2:
+            return t1
+        if t1.is_pointer or t2.is_pointer:
+            if t1.is_pointer and t2.is_pointer:
+                return t1
+            return t1 if t1.is_pointer else t2
+        rank = {"bool": 0, "char": 1, "int": 2, "uint": 3, "size_t": 4, "long": 5,
+                "float": 6, "double": 7}
+        return t1 if rank.get(t1.base, 0) >= rank.get(t2.base, 0) else t2
+
+
+    def _check_reserved(self, name: str, loc) -> None:
+        if not self.allow_reserved and name.startswith("__dp_"):
+            raise TypeCheckError(
+                f"identifier {name!r} uses the reserved '__dp_' prefix "
+                "(the consolidation compiler owns these names)", loc,
+            )
+
+
+def check_module(module: Module, allow_reserved: bool = False) -> ModuleInfo:
+    """Run semantic analysis over a parsed module, annotating expression
+    nodes with ``.ty`` and returning per-function facts.
+
+    ``allow_reserved`` permits ``__dp_*`` identifiers; only the
+    consolidation compiler (whose generated code declares them) sets it.
+    """
+    return TypeChecker(module, allow_reserved=allow_reserved).check()

@@ -1,0 +1,260 @@
+"""Unparser: MiniCUDA AST back to CUDA-C source text.
+
+This is the analogue of ROSE's backend in the paper's toolchain — the
+consolidation transforms produce a new AST which is unparsed to CUDA source
+for inspection/golden tests. The output re-parses to a structurally equal
+AST (tested property-style in ``tests/test_unparser.py``).
+"""
+
+from __future__ import annotations
+
+from .ast_nodes import (
+    Assign,
+    BinOp,
+    Block,
+    BoolLit,
+    Break,
+    BuiltinVar,
+    Call,
+    Cast,
+    Continue,
+    DeclStmt,
+    DoWhile,
+    EmptyStmt,
+    Expr,
+    ExprStmt,
+    FloatLit,
+    For,
+    FunctionDef,
+    GlobalDecl,
+    Ident,
+    If,
+    IncDec,
+    Index,
+    IntLit,
+    LaunchExpr,
+    Member,
+    Module,
+    Node,
+    PragmaStmt,
+    Return,
+    Stmt,
+    StringLit,
+    Ternary,
+    UnOp,
+    While,
+)
+
+#: Precedence levels used to decide where parentheses are required.
+_PREC = {
+    ",": 0,
+    "=": 1, "+=": 1, "-=": 1, "*=": 1, "/=": 1, "%=": 1,
+    "&=": 1, "|=": 1, "^=": 1, "<<=": 1, ">>=": 1,
+    "?:": 2,
+    "||": 3,
+    "&&": 4,
+    "|": 5,
+    "^": 6,
+    "&": 7,
+    "==": 8, "!=": 8,
+    "<": 9, ">": 9, "<=": 9, ">=": 9,
+    "<<": 10, ">>": 10,
+    "+": 11, "-": 11,
+    "*": 12, "/": 12, "%": 12,
+    "unary": 13,
+    "postfix": 14,
+    "primary": 15,
+}
+
+
+class Unparser:
+    def __init__(self, indent: str = "    "):
+        self.indent_unit = indent
+
+    # ------------------------------------------------------------- modules
+
+    def unparse(self, node: Node) -> str:
+        if isinstance(node, Module):
+            return self.module(node)
+        if isinstance(node, FunctionDef):
+            return self.function(node)
+        if isinstance(node, Stmt):
+            return "\n".join(self.stmt(node, 0))
+        if isinstance(node, Expr):
+            return self.expr(node)
+        raise TypeError(f"cannot unparse {type(node).__name__}")
+
+    def module(self, mod: Module) -> str:
+        parts = []
+        for decl in mod.decls:
+            if isinstance(decl, FunctionDef):
+                parts.append(self.function(decl))
+            elif isinstance(decl, GlobalDecl):
+                qual = "__device__ " if decl.device else ""
+                init = f" = {self.expr(decl.init)}" if decl.init is not None else ""
+                parts.append(f"{qual}{decl.type} {decl.name}{init};")
+        return "\n\n".join(parts) + "\n"
+
+    def function(self, fn: FunctionDef) -> str:
+        quals = " ".join(sorted(fn.qualifiers)) + (" " if fn.qualifiers else "")
+        params = ", ".join(
+            ("const " if p.const else "") + f"{p.type} {p.name}" for p in fn.params
+        )
+        header = f"{quals}{fn.ret_type} {fn.name}({params})"
+        body = "\n".join(self.stmt(fn.body, 0))
+        return f"{header} {body}"
+
+    # ---------------------------------------------------------------- stmts
+
+    def stmt(self, s: Stmt, level: int) -> list[str]:
+        ind = self.indent_unit * level
+        if isinstance(s, Block):
+            lines = [f"{ind}{{" if level else "{"]
+            for inner in s.stmts:
+                lines.extend(self.stmt(inner, level + 1))
+            lines.append(f"{ind}}}")
+            return lines
+        if isinstance(s, DeclStmt):
+            quals = ("__shared__ " if s.shared else "") + ("const " if s.const else "")
+            base = s.declarators[0].type
+            parts = []
+            for i, d in enumerate(s.declarators):
+                text = d.name
+                if d.array_size is not None:
+                    text += f"[{self.expr(d.array_size)}]"
+                if d.init is not None:
+                    text += f" = {self.expr(d.init)}"
+                if i == 0:
+                    parts.append(f"{base} {text}")
+                else:
+                    # later declarators carry any extra pointer depth explicitly
+                    parts.append("*" * max(0, d.type.ptr - base.ptr) + text)
+            return [f"{ind}{quals}{', '.join(parts)};"]
+        if isinstance(s, ExprStmt):
+            return [f"{ind}{self.expr(s.expr)};"]
+        if isinstance(s, If):
+            lines = [f"{ind}if ({self.expr(s.cond)})"]
+            lines = self._attach_body(lines, s.then, level)
+            if s.els is not None:
+                lines.append(f"{ind}else")
+                lines = self._attach_body(lines, s.els, level)
+            return lines
+        if isinstance(s, While):
+            lines = [f"{ind}while ({self.expr(s.cond)})"]
+            return self._attach_body(lines, s.body, level)
+        if isinstance(s, DoWhile):
+            lines = [f"{ind}do"]
+            lines = self._attach_body(lines, s.body, level)
+            lines[-1] += f" while ({self.expr(s.cond)});"
+            return lines
+        if isinstance(s, For):
+            init = ""
+            if s.init is not None:
+                init_lines = self.stmt(s.init, 0)
+                init = init_lines[0].rstrip(";")
+            cond = self.expr(s.cond) if s.cond is not None else ""
+            step = self.expr(s.step) if s.step is not None else ""
+            lines = [f"{ind}for ({init}; {cond}; {step})"]
+            return self._attach_body(lines, s.body, level)
+        if isinstance(s, Return):
+            if s.value is None:
+                return [f"{ind}return;"]
+            return [f"{ind}return {self.expr(s.value)};"]
+        if isinstance(s, Break):
+            return [f"{ind}break;"]
+        if isinstance(s, Continue):
+            return [f"{ind}continue;"]
+        if isinstance(s, EmptyStmt):
+            return [f"{ind};"]
+        if isinstance(s, PragmaStmt):
+            lines = [f"{ind}#pragma {s.directive.describe()}"]
+            lines.extend(self.stmt(s.stmt, level))
+            return lines
+        raise TypeError(f"cannot unparse statement {type(s).__name__}")
+
+    def _attach_body(self, lines: list[str], body: Stmt, level: int) -> list[str]:
+        if isinstance(body, Block):
+            block_lines = self.stmt(body, level)
+            lines[-1] += " " + block_lines[0].lstrip()
+            lines.extend(block_lines[1:])
+        else:
+            lines.extend(self.stmt(body, level + 1))
+        return lines
+
+    # ---------------------------------------------------------------- exprs
+
+    def expr(self, e: Expr, parent_prec: int = 0) -> str:
+        text, prec = self._expr_prec(e)
+        if prec < parent_prec:
+            return f"({text})"
+        return text
+
+    def _expr_prec(self, e: Expr) -> tuple[str, int]:
+        if isinstance(e, IntLit):
+            return str(e.value), _PREC["primary"]
+        if isinstance(e, FloatLit):
+            text = repr(e.value)
+            if "." not in text and "e" not in text and "inf" not in text:
+                text += ".0"
+            return text + "f", _PREC["primary"]
+        if isinstance(e, BoolLit):
+            return ("true" if e.value else "false"), _PREC["primary"]
+        if isinstance(e, StringLit):
+            escaped = e.value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+            return f'"{escaped}"', _PREC["primary"]
+        if isinstance(e, Ident):
+            return e.name, _PREC["primary"]
+        if isinstance(e, BuiltinVar):
+            return f"{e.name}.{e.dim}", _PREC["primary"]
+        if isinstance(e, UnOp):
+            operand = self.expr(e.operand, _PREC["unary"])
+            return f"{e.op}{operand}", _PREC["unary"]
+        if isinstance(e, IncDec):
+            operand = self.expr(e.operand, _PREC["postfix"])
+            text = f"{e.op}{operand}" if e.prefix else f"{operand}{e.op}"
+            return text, _PREC["unary"] if e.prefix else _PREC["postfix"]
+        if isinstance(e, BinOp):
+            prec = _PREC[e.op]
+            left = self.expr(e.left, prec)
+            right = self.expr(e.right, prec + 1)
+            if e.op == ",":
+                return f"{left}, {right}", prec
+            return f"{left} {e.op} {right}", prec
+        if isinstance(e, Assign):
+            prec = _PREC[e.op]
+            target = self.expr(e.target, prec + 1)
+            value = self.expr(e.value, prec)
+            return f"{target} {e.op} {value}", prec
+        if isinstance(e, Ternary):
+            prec = _PREC["?:"]
+            cond = self.expr(e.cond, prec + 1)
+            then = self.expr(e.then, prec)
+            els = self.expr(e.els, prec)
+            return f"{cond} ? {then} : {els}", prec
+        if isinstance(e, Call):
+            args = ", ".join(self.expr(a) for a in e.args)
+            return f"{e.callee}({args})", _PREC["postfix"]
+        if isinstance(e, LaunchExpr):
+            cfg = [self.expr(e.grid), self.expr(e.block)]
+            if e.shared is not None:
+                cfg.append(self.expr(e.shared))
+                if e.stream is not None:
+                    cfg.append(self.expr(e.stream))
+            args = ", ".join(self.expr(a) for a in e.args)
+            return f"{e.callee}<<<{', '.join(cfg)}>>>({args})", _PREC["postfix"]
+        if isinstance(e, Index):
+            base = self.expr(e.base, _PREC["postfix"])
+            return f"{base}[{self.expr(e.index)}]", _PREC["postfix"]
+        if isinstance(e, Member):
+            base = self.expr(e.base, _PREC["postfix"])
+            return f"{base}.{e.name}", _PREC["postfix"]
+        if isinstance(e, Cast):
+            operand = self.expr(e.expr, _PREC["unary"])
+            return f"({e.type}){operand}", _PREC["unary"]
+        raise TypeError(f"cannot unparse expression {type(e).__name__}")
+
+
+def unparse(node: Node) -> str:
+    """Render an AST node (module, function, statement or expression) as
+    CUDA-C source text."""
+    return Unparser().unparse(node)

@@ -1,0 +1,12 @@
+"""The consolidation device-runtime library (reference).
+
+The paper's generated code links against a small device-side runtime:
+consolidation-buffer management and the custom global barrier (§IV.E).
+In this reproduction those primitives are ``__dp_*`` intrinsics — their
+*functional and cost semantics* live in :class:`repro.sim.dp.DPRuntime`,
+their *type signatures* are registered with the frontend in
+:mod:`repro.frontend.symbols`, and this package is the canonical catalogue
+tying the two together (verified by ``tests/test_runtime_catalog.py``).
+"""
+
+from .devlib import DEVICE_LIBRARY, IntrinsicDoc, render_reference  # noqa: F401

@@ -1,0 +1,100 @@
+"""Catalogue of the ``__dp_*`` device-runtime intrinsics.
+
+Each entry documents one primitive of the consolidation runtime the
+generated code calls. ``signature`` uses CUDA spelling; ``cost`` describes
+what the simulator charges (see :class:`repro.sim.specs.CostModel`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class IntrinsicDoc:
+    name: str
+    signature: str
+    summary: str
+    cost: str
+    paper_ref: str
+
+
+DEVICE_LIBRARY: tuple[IntrinsicDoc, ...] = (
+    IntrinsicDoc(
+        name="__dp_buf_acquire",
+        signature="int __dp_buf_acquire(int granularity, int slots, int nfields)",
+        summary=(
+            "Return the consolidation-buffer handle for the caller's scope "
+            "(0=warp, 1=block, 2=grid), allocating it on first use via the "
+            "configured allocator. Idempotent per scope."
+        ),
+        cost="allocator op-cycles on first call per scope; ~2 cycles after",
+        paper_ref="§IV.E 'Consolidation Buffers' / Table I buffer()",
+    ),
+    IntrinsicDoc(
+        name="__dp_buf_push1..4",
+        signature="int __dp_buf_pushK(int handle, int f0, ... int fK-1)",
+        summary=(
+            "Append one work item of K integer fields (indexes/pointers); "
+            "returns the slot index. Grows the buffer on overflow (a "
+            "robustness deviation from the paper, which would corrupt)."
+        ),
+        cost="one atomic + the stores' coalesced memory traffic",
+        paper_ref="§IV.A 'we buffer the work associated to the kernels'",
+    ),
+    IntrinsicDoc(
+        name="__dp_buf_size",
+        signature="int __dp_buf_size(int handle)",
+        summary="Number of items currently buffered.",
+        cost="one L2-hit load",
+        paper_ref="Fig. 4(b): the designated thread reads the count",
+    ),
+    IntrinsicDoc(
+        name="__dp_buf_get",
+        signature="int __dp_buf_get(int handle, int slot, int field)",
+        summary="Read one field of one buffered work item (drain loops).",
+        cost="one coalesced load through the L2 model",
+        paper_ref="§IV.C child transformation (buffer fetch)",
+    ),
+    IntrinsicDoc(
+        name="__dp_buf_reset",
+        signature="void __dp_buf_reset(int handle)",
+        summary="Reset the item count to zero (buffer reuse).",
+        cost="one L2-hit store",
+        paper_ref="—",
+    ),
+    IntrinsicDoc(
+        name="__dp_grid_arrive_last",
+        signature="int __dp_grid_arrive_last()",
+        summary=(
+            "Exit-style global barrier: atomically count block arrivals; "
+            "returns 1 only in the last block of the grid to arrive. All "
+            "other blocks are expected to exit — this is what avoids the "
+            "deadlock a spinning global barrier would cause."
+        ),
+        cost="global_barrier_cycles (atomic + flag read)",
+        paper_ref="§IV.E 'Global Barrier Synchronization on GPU'",
+    ),
+    IntrinsicDoc(
+        name="__dp_lane / __dp_warp_id",
+        signature="int __dp_lane(); int __dp_warp_id()",
+        summary="Lane index within the warp / warp index within the block "
+                "(compiled inline, no runtime call).",
+        cost="free",
+        paper_ref="warp-level designated-lane selection",
+    ),
+)
+
+
+def render_reference() -> str:
+    """Human-readable device-library reference (used by docs and the CLI)."""
+    lines = ["Consolidation device-runtime reference", "=" * 40]
+    for doc in DEVICE_LIBRARY:
+        lines += [
+            "",
+            doc.signature,
+            f"  {doc.summary}",
+            f"  cost: {doc.cost}",
+            f"  paper: {doc.paper_ref}",
+        ]
+    return "\n".join(lines)

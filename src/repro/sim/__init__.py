@@ -1,0 +1,15 @@
+"""SIMT GPU simulator: the evaluation substrate standing in for the
+paper's Tesla K20c (see DESIGN.md §2 for the substitution argument)."""
+
+from .device import Device, Program  # noqa: F401
+from .engine import FunctionalEngine, KernelInstance  # noqa: F401
+from .occupancy import (  # noqa: F401
+    DEFAULT_BLOCK_THREADS,
+    KC_FOR_GRANULARITY,
+    LaunchConfig,
+    kc_config,
+    occupancy_config,
+    theoretical_occupancy,
+)
+from .profiler import RunMetrics  # noqa: F401
+from .specs import CostModel, DEFAULT_COST_MODEL, DeviceSpec, K20C, TINY  # noqa: F401

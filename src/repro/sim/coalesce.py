@@ -1,0 +1,47 @@
+"""Warp memory-access coalescing.
+
+CUDA hardware services one global-memory instruction per warp by grouping
+the 32 lane addresses into aligned 128-byte segments; each distinct segment
+costs one transaction. :func:`coalesce` reproduces that grouping. The
+number of segments is the quantity the paper's Fig. 10 ultimately counts
+(after L2 filtering).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+def coalesce(addresses: Iterable[int], itemsize: int, segment_bytes: int = 128) -> set[int]:
+    """Group byte addresses of a warp's lanes into aligned segments.
+
+    Parameters
+    ----------
+    addresses:
+        Byte addresses accessed by the active lanes (one per lane).
+    itemsize:
+        Size of each access in bytes; an access straddling a segment
+        boundary touches both segments (possible with 8-byte types at
+        unaligned offsets).
+    segment_bytes:
+        Segment (transaction) granularity, 128 B on Kepler.
+
+    Returns
+    -------
+    set of segment indices (address // segment_bytes).
+    """
+    segments: set[int] = set()
+    add = segments.add
+    for addr in addresses:
+        first = addr // segment_bytes
+        add(first)
+        last = (addr + itemsize - 1) // segment_bytes
+        if last != first:
+            add(last)
+    return segments
+
+
+def transactions_for(addresses: Iterable[int], itemsize: int,
+                     segment_bytes: int = 128) -> int:
+    """Number of transactions a warp access generates (no cache)."""
+    return len(coalesce(addresses, itemsize, segment_bytes))

@@ -1,0 +1,83 @@
+"""Event protocol between compiled kernels and the SIMT engine.
+
+The Python backend compiles every MiniCUDA kernel into a *generator
+function*; a running thread is a generator that ``yield``s event tuples and
+receives results back through ``send``. Events are plain tuples with an
+integer opcode in slot 0 — the engine dispatches on ``ev[0]`` in a tight
+loop, so this representation is deliberately minimal.
+
+Opcode layouts::
+
+    (LD,   array, index)                      -> loaded value
+    (ST,   array, index, value)               -> None
+    (ATOM, op, array, index, a [, b])         -> old value   (op: 'add', ...)
+    (SYNC,)                                   -> None  (__syncthreads)
+    (WSYNC,)                                  -> None  (__syncwarp /
+                                                 SIMT reconvergence point)
+    (LAUNCH, name, grid, block, args_tuple)   -> None  (DP child launch)
+    (DEVSYNC,)                                -> None  (cudaDeviceSynchronize)
+    (INTR, name, args_tuple)                  -> intrinsic-defined value
+
+Compute cost is *not* an event: threads accumulate plain cycles in
+``ctx.c`` and the engine folds the per-warp maximum into the trace, which
+keeps the generator round-trip count proportional to memory/control events
+only (see DESIGN.md §5 on interpreter performance).
+"""
+
+from __future__ import annotations
+
+LD = 0
+ST = 1
+ATOM = 2
+SYNC = 3
+LAUNCH = 4
+DEVSYNC = 5
+INTR = 6
+WSYNC = 7
+
+OPCODE_NAMES = {
+    LD: "ld",
+    ST: "st",
+    ATOM: "atomic",
+    SYNC: "syncthreads",
+    LAUNCH: "launch",
+    DEVSYNC: "device-sync",
+    INTR: "intrinsic",
+    WSYNC: "syncwarp",
+}
+
+#: atomic sub-operations understood by the engine
+ATOMIC_OPS = ("add", "sub", "min", "max", "exch", "cas", "or", "and")
+
+
+class ThreadCtx:
+    """Per-thread execution context handed to compiled kernels.
+
+    Attributes mirror the CUDA builtins (1-D only: the paper's codes and
+    templates are 1-D). ``c`` accumulates compute cycles between yields.
+    """
+
+    __slots__ = ("tx", "bx", "bdim", "gdim", "c", "shared", "lane", "warp_id")
+
+    def __init__(self, tx: int, bx: int, bdim: int, gdim: int,
+                 shared: dict, warp_size: int):
+        self.tx = tx
+        self.bx = bx
+        self.bdim = bdim
+        self.gdim = gdim
+        self.c = 0
+        self.shared = shared
+        self.lane = tx % warp_size
+        self.warp_id = tx // warp_size
+
+    def shared_array(self, name: str, n: int, fill=0):
+        """Return the block-shared storage for a ``__shared__`` declaration.
+
+        All threads of a block share one list per declaration name; the
+        first thread to reach the declaration creates it.
+        """
+        arr = self.shared.get(name)
+        if arr is None:
+            arr = [fill] * n
+            self.shared[name] = arr
+        return arr

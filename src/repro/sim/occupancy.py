@@ -1,0 +1,113 @@
+"""Occupancy calculator and the paper's KC_X configuration rule.
+
+§IV.E "Kernel Configuration Handling": the CUDA Occupancy Calculator gives
+a configuration ``(B, T)`` that maximizes single-kernel occupancy; to let
+``X`` kernels run concurrently, the paper *downgrades* it to
+``(ceil(B/X), T)`` — called ``KC_X``. Defaults: KC_1 for grid-level,
+KC_16 for block-level, KC_32 for warp-level consolidation.
+
+Also provides the *1-1 mapping* configuration used as a baseline in
+Fig. 6 (as many blocks — or threads, for thread-mapped children — as
+buffered work items).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .specs import DeviceSpec
+
+#: default thread-block size for moldable consolidated kernels
+DEFAULT_BLOCK_THREADS = 256
+
+#: paper §IV.E defaults: granularity -> kernel-concurrency target X
+KC_FOR_GRANULARITY = {"grid": 1, "block": 16, "warp": 32}
+
+
+def blocks_per_sm(spec: DeviceSpec, threads_per_block: int) -> int:
+    """Maximum co-resident blocks on one SM for a block size."""
+    if threads_per_block <= 0:
+        raise ValueError("threads_per_block must be positive")
+    if threads_per_block > spec.max_threads_per_block:
+        return 0
+    warps = math.ceil(threads_per_block / spec.warp_size)
+    return min(
+        spec.max_blocks_per_sm,
+        spec.max_threads_per_sm // threads_per_block,
+        spec.max_warps_per_sm // warps,
+    )
+
+
+def occupancy_config(spec: DeviceSpec, threads_per_block: int = DEFAULT_BLOCK_THREADS
+                     ) -> tuple[int, int]:
+    """The Occupancy-Calculator configuration ``(B, T)``: enough blocks to
+    fill every SM to its co-residency limit."""
+    per_sm = blocks_per_sm(spec, threads_per_block)
+    if per_sm == 0:
+        raise ValueError(
+            f"block of {threads_per_block} threads exceeds device limit"
+        )
+    return per_sm * spec.num_sms, threads_per_block
+
+
+def theoretical_occupancy(spec: DeviceSpec, threads_per_block: int) -> float:
+    """Fraction of resident-warp slots used when one kernel fills the SM."""
+    per_sm = blocks_per_sm(spec, threads_per_block)
+    warps = math.ceil(threads_per_block / spec.warp_size)
+    return per_sm * warps / spec.max_warps_per_sm
+
+
+def kc_config(spec: DeviceSpec, concurrency: int,
+              threads_per_block: int = DEFAULT_BLOCK_THREADS) -> tuple[int, int]:
+    """``KC_X``: downgrade the occupancy config for X concurrent kernels."""
+    if concurrency < 1:
+        raise ValueError("kernel concurrency must be >= 1")
+    full_blocks, threads = occupancy_config(spec, threads_per_block)
+    return max(1, full_blocks // concurrency), threads
+
+
+@dataclass(frozen=True)
+class LaunchConfig:
+    """A consolidated-kernel configuration choice.
+
+    ``mode`` is one of:
+
+    * ``"kc"``      — the paper's rule: KC_1/KC_16/KC_32 by granularity;
+    * ``"one2one"`` — Fig. 6's *1-1 mapping* baseline (grid = item count,
+      computed at runtime from the buffer size);
+    * ``"explicit"``— fixed ``(blocks, threads)`` from pragma clauses or an
+      exhaustive-search harness.
+    """
+
+    mode: str = "kc"
+    blocks: int | None = None
+    threads: int | None = None
+    #: device spec used to resolve static configs (None -> K20C default)
+    spec: DeviceSpec | None = None
+
+    def resolve(self, spec: DeviceSpec, granularity: str) -> tuple[int | None, int]:
+        """Return (blocks, threads); blocks None means runtime 1-1 grid."""
+        threads = self.threads or DEFAULT_BLOCK_THREADS
+        if self.mode == "explicit":
+            if self.blocks is None:
+                raise ValueError("explicit config requires blocks")
+            return self.blocks, threads
+        if self.mode == "one2one":
+            return None, threads
+        if self.mode == "kc":
+            concurrency = KC_FOR_GRANULARITY[granularity]
+            blocks, threads = kc_config(spec, concurrency, threads)
+            return blocks, threads
+        raise ValueError(f"unknown launch-config mode {self.mode!r}")
+
+
+def exhaustive_candidates(spec: DeviceSpec) -> list[tuple[int, int]]:
+    """The (B, T) grid searched by the Fig. 6 'exhaustive search' baseline."""
+    candidates = []
+    for threads in (32, 64, 128, 256, 512):
+        full, _ = occupancy_config(spec, threads)
+        for blocks in {1, 2, 4, 8, max(1, full // 32), max(1, full // 16),
+                       max(1, full // 4), full}:
+            candidates.append((blocks, threads))
+    return sorted(set(candidates))

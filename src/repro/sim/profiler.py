@@ -1,0 +1,114 @@
+"""Run metrics: the simulator's analogue of the NVIDIA Visual Profiler.
+
+:class:`RunMetrics` carries exactly the quantities the paper's evaluation
+plots: elapsed cycles (Figs. 5-7 speedups), child-kernel launch counts and
+warp execution efficiency (Fig. 8), achieved SM occupancy (Fig. 9), and
+DRAM transactions with an overhead breakdown (Fig. 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .engine import KernelInstance
+from .timing import TimingResult
+
+
+@dataclass
+class RunMetrics:
+    #: end-to-end device makespan in cycles (performance metric)
+    cycles: float = 0.0
+    host_launches: int = 0
+    #: child kernels launched from the device (the Fig. 8 annotation)
+    device_launches: int = 0
+    kernel_instances: int = 0
+    #: ratio of active lanes to warp width over all executed warp-steps
+    warp_execution_efficiency: float = 0.0
+    #: time-weighted resident warps / warp slots (Fig. 9)
+    achieved_occupancy: float = 0.0
+    avg_active_kernels: float = 0.0
+    dram_transactions: int = 0
+    l2_hits: int = 0
+    l2_misses: int = 0
+    #: DRAM transactions by overhead source ('launch-params', 'swap', ...)
+    overhead_transactions: dict = field(default_factory=dict)
+    max_pending_kernels: int = 0
+    virtual_pool_kernels: int = 0
+    parent_swaps: int = 0
+    #: consolidation-runtime counters
+    buffers_acquired: int = 0
+    buffer_pushes: int = 0
+    buffer_grows: int = 0
+    #: allocator counters
+    allocator_kind: str = ""
+    allocator_allocs: int = 0
+    allocator_cycles: int = 0
+    allocator_peak_bytes: int = 0
+
+    @property
+    def l2_hit_rate(self) -> float:
+        total = self.l2_hits + self.l2_misses
+        return self.l2_hits / total if total else 0.0
+
+    def speedup_over(self, baseline: "RunMetrics") -> float:
+        """Baseline cycles / our cycles (how the paper reports Figs. 5-7)."""
+        if self.cycles == 0:
+            return float("inf")
+        return baseline.cycles / self.cycles
+
+    def summary(self) -> str:
+        lines = [
+            f"cycles                 : {self.cycles:,.0f}",
+            f"kernel launches        : host={self.host_launches} "
+            f"device={self.device_launches}",
+            f"warp exec efficiency   : {self.warp_execution_efficiency:.1%}",
+            f"achieved occupancy     : {self.achieved_occupancy:.1%}",
+            f"DRAM transactions      : {self.dram_transactions:,}"
+            f" (overhead: {sum(self.overhead_transactions.values()):,})",
+            f"L2 hit rate            : {self.l2_hit_rate:.1%}",
+            f"pending pool           : max={self.max_pending_kernels} "
+            f"virtualized={self.virtual_pool_kernels}",
+            f"parent swaps           : {self.parent_swaps}",
+            f"allocator[{self.allocator_kind}]  : allocs={self.allocator_allocs} "
+            f"cycles={self.allocator_cycles:,}",
+        ]
+        return "\n".join(lines)
+
+
+def collect_metrics(roots: list[KernelInstance], timing: TimingResult,
+                    memsys, dp_stats, allocator) -> RunMetrics:
+    """Fuse engine traces, timing results and runtime counters."""
+    warp_steps = 0
+    active_steps = 0
+    instances = 0
+    for root in roots:
+        for inst in root.subtree():
+            instances += 1
+            for trace in inst.blocks:
+                warp_steps += trace.warp_steps
+                active_steps += trace.active_lane_steps
+    wee = active_steps / (warp_steps * 32) if warp_steps else 0.0
+    counters = memsys.counters
+    return RunMetrics(
+        cycles=timing.makespan,
+        host_launches=dp_stats.host_launches,
+        device_launches=dp_stats.device_launches,
+        kernel_instances=instances,
+        warp_execution_efficiency=wee,
+        achieved_occupancy=timing.achieved_occupancy,
+        avg_active_kernels=timing.avg_active_kernels,
+        dram_transactions=counters.dram_transactions,
+        l2_hits=counters.l2_hits,
+        l2_misses=counters.l2_misses,
+        overhead_transactions=dict(counters.overhead),
+        max_pending_kernels=timing.max_pending,
+        virtual_pool_kernels=timing.virtual_pool_kernels,
+        parent_swaps=timing.swaps,
+        buffers_acquired=dp_stats.buffers_acquired,
+        buffer_pushes=dp_stats.pushes,
+        buffer_grows=dp_stats.buffer_grows,
+        allocator_kind=allocator.kind,
+        allocator_allocs=allocator.stats.allocs,
+        allocator_cycles=allocator.stats.cycles,
+        allocator_peak_bytes=allocator.stats.peak_bytes,
+    )

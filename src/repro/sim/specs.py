@@ -1,0 +1,163 @@
+"""Device specifications and the simulator cost model.
+
+The paper evaluates on an NVIDIA Tesla K20c (Kepler GK110, compute
+capability 3.5) with CUDA 7.0. :data:`K20C` captures the architectural
+limits that drive the paper's findings; :class:`CostModel` holds the
+first-order cost constants of the functional/timing simulator.
+
+The cost constants are *calibration knobs*, not measurements: they are set
+so that the simulator reproduces the paper's published ratios (see
+DESIGN.md §5 and EXPERIMENTS.md). Each constant documents which observation
+it is responsible for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Architectural limits of a simulated GPU."""
+
+    name: str
+    #: number of streaming multiprocessors (K20c: 13 SMX)
+    num_sms: int
+    #: SIMT width
+    warp_size: int
+    #: maximum resident threads per SM
+    max_threads_per_sm: int
+    #: maximum resident warps per SM (Kepler: 64)
+    max_warps_per_sm: int
+    #: maximum resident blocks per SM (Kepler: 16)
+    max_blocks_per_sm: int
+    #: maximum threads per block
+    max_threads_per_block: int
+    #: maximum concurrently executing kernels (paper §II.A: 32)
+    max_concurrent_kernels: int
+    #: maximum DP nesting depth (paper §II.A: 24)
+    max_nesting_depth: int
+    #: default fixed-size pending-launch pool (paper §III.B: 2048)
+    fixed_pool_size: int
+    #: DRAM transaction segment size in bytes (L2 line)
+    dram_segment_bytes: int
+    #: L2 cache size in bytes
+    l2_bytes: int
+    #: global memory size in bytes
+    global_mem_bytes: int
+
+    @property
+    def max_resident_warps(self) -> int:
+        return self.num_sms * self.max_warps_per_sm
+
+
+#: The paper's evaluation GPU (Tesla K20c, GK110).
+K20C = DeviceSpec(
+    name="Tesla K20c (simulated)",
+    num_sms=13,
+    warp_size=32,
+    max_threads_per_sm=2048,
+    max_warps_per_sm=64,
+    max_blocks_per_sm=16,
+    max_threads_per_block=1024,
+    max_concurrent_kernels=32,
+    max_nesting_depth=24,
+    fixed_pool_size=2048,
+    dram_segment_bytes=128,
+    l2_bytes=1536 * 1024,
+    global_mem_bytes=5 * 1024 * 1024 * 1024,
+)
+
+#: A small spec for fast unit tests (fewer SMs and warps so saturation and
+#: occupancy effects appear with tiny workloads).
+TINY = DeviceSpec(
+    name="tiny-test-gpu",
+    num_sms=2,
+    warp_size=32,
+    max_threads_per_sm=256,
+    max_warps_per_sm=8,
+    max_blocks_per_sm=4,
+    max_threads_per_block=128,
+    max_concurrent_kernels=4,
+    max_nesting_depth=24,
+    fixed_pool_size=16,
+    dram_segment_bytes=128,
+    l2_bytes=16 * 1024,
+    global_mem_bytes=64 * 1024 * 1024,
+)
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """First-order cost constants (cycles unless noted).
+
+    Every knob names the paper observation it reproduces; see DESIGN.md §5.
+    """
+
+    # --- execution ---------------------------------------------------------
+    #: cycles charged per warp instruction-step (SIMT issue)
+    cycles_per_warp_step: int = 1
+    #: stall cycles charged per DRAM transaction missing in L2
+    dram_transaction_cycles: int = 40
+    #: stall cycles for an L2 hit
+    l2_hit_cycles: int = 8
+    #: cycles per atomic operation (serialized per conflicting address)
+    atomic_cycles: int = 12
+    #: extra warp-steps a launching thread spends preparing a child launch
+    #: (parameter parsing/buffering — §III.B "Kernel Launch Overhead";
+    #: single-thread launches therefore also depress warp efficiency, which
+    #: the paper notes in §V.D)
+    launch_uops: int = 8
+
+    # --- dynamic parallelism runtime --------------------------------------
+    #: fixed driver/runtime latency from launch to earliest dispatch
+    launch_latency_cycles: int = 1200
+    #: minimum gap between two kernel dispatches device-wide (the grid
+    #: dispatcher is a serial resource; with thousands of pending child
+    #: kernels this term dominates basic-dp — §III.B)
+    dispatch_serialization_cycles: int = 300
+    #: extra latency per kernel that overflows into the virtualized pending
+    #: pool (§III.B "Kernel Buffering Overhead")
+    virtual_pool_penalty_cycles: int = 4000
+    #: DRAM transactions charged for buffering one pending launch's
+    #: parameters (§III.B; consolidation replaces these with buffer pushes)
+    launch_param_transactions: int = 2
+    #: extra DRAM transactions per virtual-pool kernel (management traffic)
+    virtual_pool_transactions: int = 4
+    #: cycles for swapping a parent block out/in at cudaDeviceSynchronize
+    #: (§III.B "Synchronization Overhead")
+    swap_cycles: int = 1200
+    #: DRAM transactions charged per swapped parent block (state save/restore)
+    swap_transactions: int = 24
+
+    # --- allocators (per-operation costs; Fig. 5) --------------------------
+    #: CUDA default device malloc/free (global heap lock + list walk)
+    malloc_default_cycles: int = 2200
+    #: halloc slab allocator (faster, still per-op bookkeeping; the paper
+    #: finds it roughly on par with the default allocator for this pattern)
+    malloc_halloc_cycles: int = 1600
+    #: pre-allocated pool: one atomic bump
+    malloc_prealloc_cycles: int = 40
+    #: heap-lock convoy: the default allocator serializes on a device-wide
+    #: lock, so the k-th concurrent allocation waits ~k lock tenures. The
+    #: per-op cost grows by base*contention*allocs_so_far — this is what
+    #: makes warp-level consolidation (many buffers) pay 20x with the
+    #: default allocator in the paper's Fig. 5.
+    malloc_default_contention: float = 0.40
+    #: halloc shards its bookkeeping across slabs: milder convoy
+    malloc_halloc_contention: float = 0.30
+    #: the pre-allocated pool is a single atomicAdd: no convoy
+    malloc_prealloc_contention: float = 0.0
+
+    # --- consolidation runtime ---------------------------------------------
+    #: cycles for one consolidation-buffer push beyond its memory traffic
+    buffer_push_cycles: int = 4
+    #: cycles for the custom global barrier arrive (atomic + flag read)
+    global_barrier_cycles: int = 60
+
+    def scaled(self, **overrides) -> "CostModel":
+        """Return a copy with some constants overridden (ablation studies)."""
+        return replace(self, **overrides)
+
+
+DEFAULT_COST_MODEL = CostModel()

@@ -1,0 +1,138 @@
+"""Execution-timeline capture and rendering.
+
+An optional deep-profiling aid on top of the timing model: re-runs the
+scheduler with an event recorder attached and produces a per-kernel
+timeline (launch, dispatch, first block placed, completion) that can be
+rendered as an ASCII Gantt chart. This is the tool one reaches for to *see*
+the paper's §III.B story — thousands of basic-dp children crawling through
+the serialized dispatcher versus a handful of consolidated launches.
+
+    from repro.sim.timeline import capture_timeline, render_gantt
+    spans = capture_timeline(device)      # after device.synchronize()
+    print(render_gantt(spans, width=80))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .engine import KernelInstance
+from .specs import CostModel, DeviceSpec
+from .timing import DeviceScheduler, TimingResult
+
+
+@dataclass
+class KernelSpan:
+    """Lifetime of one kernel instance in the schedule."""
+
+    uid: int
+    name: str
+    depth: int
+    grid: int
+    block_dim: int
+    from_device: bool
+    completion: float
+    start: float = 0.0
+
+    @property
+    def duration(self) -> float:
+        return self.completion - self.start
+
+
+@dataclass
+class Timeline:
+    makespan: float
+    spans: list[KernelSpan] = field(default_factory=list)
+
+    def by_name(self) -> dict[str, list[KernelSpan]]:
+        out: dict[str, list[KernelSpan]] = {}
+        for span in self.spans:
+            out.setdefault(span.name, []).append(span)
+        return out
+
+    def summary(self) -> str:
+        lines = [f"makespan: {self.makespan:,.0f} cycles, "
+                 f"{len(self.spans)} kernel instances"]
+        for name, spans in sorted(self.by_name().items()):
+            total = sum(s.duration for s in spans)
+            lines.append(
+                f"  {name:32s} x{len(spans):<6d} "
+                f"busy={total:>12,.0f}cy "
+                f"avg={total / len(spans):>10,.0f}cy"
+            )
+        return "\n".join(lines)
+
+
+class _RecordingScheduler(DeviceScheduler):
+    """DeviceScheduler that records per-kernel first-placement times."""
+
+    def __init__(self, spec, cost, memsys=None):
+        super().__init__(spec, cost, memsys)
+        self.first_placement: dict[int, float] = {}
+
+    def _acquire(self, run, extra_delay: float = 0.0) -> bool:
+        placed = super()._acquire(run, extra_delay)
+        if placed:
+            uid = run.kernel.inst.uid
+            self.first_placement.setdefault(uid, self.now)
+        return placed
+
+
+def capture_timeline(roots: list[KernelInstance], spec: DeviceSpec,
+                     cost: CostModel) -> Timeline:
+    """Re-schedule a finished instance forest with recording enabled."""
+    scheduler = _RecordingScheduler(spec, cost)
+    result: TimingResult = scheduler.run(roots)
+    timeline = Timeline(makespan=result.makespan)
+    for inst in _iter_instances(roots):
+        timeline.spans.append(KernelSpan(
+            uid=inst.uid,
+            name=inst.name,
+            depth=inst.depth,
+            grid=inst.grid,
+            block_dim=inst.block_dim,
+            from_device=inst.from_device,
+            start=scheduler.first_placement.get(inst.uid, 0.0),
+            completion=result.completion[inst.uid],
+        ))
+    timeline.spans.sort(key=lambda s: (s.start, s.uid))
+    return timeline
+
+
+def _iter_instances(roots):
+    for root in roots:
+        yield from root.subtree()
+
+
+def render_gantt(timeline: Timeline, width: int = 72,
+                 max_rows: int = 40) -> str:
+    """ASCII Gantt chart of kernel lifetimes (one row per instance; long
+    forests are sampled down to ``max_rows`` rows)."""
+    if not timeline.spans or timeline.makespan <= 0:
+        return "(empty timeline)"
+    spans = timeline.spans
+    step = max(1, len(spans) // max_rows)
+    sampled = spans[::step]
+    scale = width / timeline.makespan
+    name_w = min(28, max(len(s.name) for s in sampled) + 2)
+    lines = []
+    for s in sampled:
+        start = int(s.start * scale)
+        length = max(1, int(s.duration * scale))
+        bar = " " * start + "#" * min(length, width - start)
+        tag = f"{s.name}[{s.grid}x{s.block_dim}]"
+        lines.append(f"{tag[:name_w].ljust(name_w)}|{bar.ljust(width)}|")
+    if step > 1:
+        lines.append(f"... ({len(spans)} instances total, showing every "
+                     f"{step}th)")
+    return "\n".join(lines)
+
+
+def device_timeline(device) -> Timeline:
+    """Capture a timeline from a Device's most recent completed launches.
+
+    Must be called *after* :meth:`Device.synchronize`; uses the cumulative
+    root list so the whole session is visible.
+    """
+    return capture_timeline(device._all_roots, device.spec, device.cost)

@@ -1,0 +1,358 @@
+"""Discrete-event timing model of the GPU.
+
+Replays the traces produced by the functional engine against a device
+scheduler with Kepler's structural limits, producing the quantities the
+paper measures:
+
+* **makespan** (performance; Figs. 5-7 report speedups = makespan ratios);
+* **achieved SM occupancy** — time-weighted resident warps / warp slots
+  (Fig. 9);
+* pending-pool statistics — launches beyond the fixed pool pay the
+  virtualized-pool penalty (§III.B);
+* device-sync **swap** costs: a parent block suspended at
+  ``cudaDeviceSynchronize`` releases its SM resources, waits for the
+  children it launched, pays the swap penalty and re-acquires resources.
+
+Model rules (first-order, documented in DESIGN.md §5):
+
+1. A kernel launched at time *t* becomes *dispatchable* at
+   ``t + launch_latency`` (+ the virtual-pool penalty if the pending pool
+   overflowed). Host launches enter the same queue with zero latency.
+2. The grid dispatcher admits kernels FIFO, at most one admission per
+   ``dispatch_serialization_cycles``, and keeps at most
+   ``max_concurrent_kernels`` kernels with unfinished blocks admitted.
+3. Admitted kernels place blocks greedily on SMs subject to
+   blocks/warps/threads-per-SM limits; blocks run for their traced segment
+   durations.
+4. A kernel completes when its blocks have finished *and* all child
+   kernels have completed (CUDA's implicit parent-child join).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from ..errors import SimulationError
+from .engine import BlockTrace, KernelInstance
+from .specs import CostModel, DeviceSpec
+
+
+@dataclass
+class TimingResult:
+    makespan: float
+    #: time-weighted average of resident warps / total warp slots
+    achieved_occupancy: float
+    #: peak number of simultaneously pending (not yet admitted) kernels
+    max_pending: int
+    #: kernels that overflowed the fixed pending pool
+    virtual_pool_kernels: int
+    #: number of parent-block swap events at device-sync points
+    swaps: int
+    #: per-kernel-instance completion times (uid -> time)
+    completion: dict[int, float] = field(default_factory=dict)
+    #: time-weighted average of admitted kernels (concurrency actually used)
+    avg_active_kernels: float = 0.0
+
+
+class _SM:
+    __slots__ = ("blocks", "warps", "threads")
+
+    def __init__(self):
+        self.blocks = 0
+        self.warps = 0
+        self.threads = 0
+
+
+class _KernelState:
+    __slots__ = ("inst", "next_block", "blocks_left", "children_left",
+                 "admitted", "done", "parent", "waiters")
+
+    def __init__(self, inst: KernelInstance):
+        self.inst = inst
+        self.next_block = 0
+        self.blocks_left = len(inst.blocks)
+        self.children_left = 0
+        self.admitted = False
+        self.done = False
+        self.waiters: list = []  # suspended parent blocks waiting on this uid
+
+
+class _BlockRun:
+    """A block's residency state machine across its segments."""
+
+    __slots__ = ("kernel", "trace", "segment", "sm", "launched_children",
+                 "wait_uids", "block_start_credit")
+
+    def __init__(self, kernel: _KernelState, trace: BlockTrace):
+        self.kernel = kernel
+        self.trace = trace
+        self.segment = 0
+        self.sm = -1
+        self.wait_uids: set[int] = set()
+        # cycles of segments already executed (for launch offset mapping)
+        self.block_start_credit = 0
+
+
+class DeviceScheduler:
+    def __init__(self, spec: DeviceSpec, cost: CostModel, memsys=None):
+        self.spec = spec
+        self.cost = cost
+        self.memsys = memsys
+        self.sms = [_SM() for _ in range(spec.num_sms)]
+        self.now = 0.0
+        self._events: list = []
+        self._seq = 0
+        self.kernels: dict[int, _KernelState] = {}
+        self.pending: list[tuple[float, int, _KernelState]] = []  # ready heap
+        self.place_queue: list[_KernelState] = []  # admitted, blocks to place
+        self.active_kernels = 0
+        self.next_dispatch_ok = 0.0
+        self.max_pending = 0
+        self.virtual_pool_kernels = 0
+        self.swaps = 0
+        self.completion: dict[int, float] = {}
+        # occupancy integration
+        self._warp_area = 0.0
+        self._resident_warps = 0
+        self._last_occ_t = 0.0
+        self._kernel_area = 0.0
+        self._last_k_t = 0.0
+        self._suspended: list[tuple[_BlockRun, float]] = []
+
+    # ---------------------------------------------------------------- events
+
+    def _post(self, t: float, fn, *args) -> None:
+        self._seq += 1
+        heapq.heappush(self._events, (t, self._seq, fn, args))
+
+    def _advance_occupancy(self, t: float) -> None:
+        if t > self._last_occ_t:
+            self._warp_area += self._resident_warps * (t - self._last_occ_t)
+            self._kernel_area += self.active_kernels * (t - self._last_k_t)
+            self._last_occ_t = t
+            self._last_k_t = t
+
+    # ------------------------------------------------------------------ API
+
+    def run(self, roots: list[KernelInstance]) -> TimingResult:
+        """Schedule a forest of root (host-launched) kernels to completion.
+
+        Host launches target the default stream, so root kernel *i+1* is
+        released only when root *i* has fully completed (this matches a
+        host loop that reads results back between launches).
+        """
+        for inst in roots:
+            self._register_tree(inst)
+        self._root_order = [self.kernels[inst.uid] for inst in roots]
+        self._next_root = 0
+        if self._root_order:
+            self._release_next_root()
+        while self._events:
+            self.now, _, fn, args = heapq.heappop(self._events)
+            self._advance_occupancy(self.now)
+            fn(*args)
+        # sanity: everything completed
+        for ks in self.kernels.values():
+            if not ks.done:
+                raise SimulationError(
+                    f"timing deadlock: kernel {ks.inst.name} (uid {ks.inst.uid}) "
+                    f"never completed ({ks.blocks_left} blocks, "
+                    f"{ks.children_left} children left)"
+                )
+        makespan = self.now
+        total_slots = self.spec.max_resident_warps
+        occupancy = (self._warp_area / (makespan * total_slots)) if makespan > 0 else 0.0
+        avg_active = (self._kernel_area / makespan) if makespan > 0 else 0.0
+        return TimingResult(
+            makespan=makespan,
+            achieved_occupancy=occupancy,
+            max_pending=self.max_pending,
+            virtual_pool_kernels=self.virtual_pool_kernels,
+            swaps=self.swaps,
+            completion=self.completion,
+            avg_active_kernels=avg_active,
+        )
+
+    # ------------------------------------------------------------ internals
+
+    def _release_next_root(self) -> None:
+        ks = self._root_order[self._next_root]
+        self._next_root += 1
+        self._post(self.now, self._kernel_ready, ks)
+
+    def _register_tree(self, inst: KernelInstance) -> None:
+        ks = _KernelState(inst)
+        self.kernels[inst.uid] = ks
+        for child in inst.children:
+            self._register_tree(child)
+        ks.children_left = len(inst.children)
+
+    # -- kernel admission ----------------------------------------------------
+
+    def _kernel_ready(self, ks: _KernelState) -> None:
+        """Kernel has cleared launch latency; it joins the pending queue."""
+        pending_count = len(self.pending) + 1
+        self.max_pending = max(self.max_pending, pending_count)
+        ready_t = self.now
+        if pending_count > self.spec.fixed_pool_size:
+            # overflow into the virtualized pool (§III.B)
+            ready_t += self.cost.virtual_pool_penalty_cycles
+            self.virtual_pool_kernels += 1
+            if self.memsys is not None:
+                self.memsys.charge_overhead(
+                    "virtual-pool", self.cost.virtual_pool_transactions
+                )
+        self._seq += 1
+        heapq.heappush(self.pending, (ready_t, self._seq, ks))
+        self._try_dispatch()
+
+    def _try_dispatch(self) -> None:
+        while (self.pending
+               and self.active_kernels < self.spec.max_concurrent_kernels):
+            ready_t, _, ks = self.pending[0]
+            t = max(ready_t, self.next_dispatch_ok, self.now)
+            if t > self.now:
+                # re-examine at the earliest legal dispatch time
+                heapq.heappop(self.pending)
+                self._seq += 1
+                heapq.heappush(self.pending, (t, self._seq, ks))
+                self._post(t, self._try_dispatch)
+                return
+            heapq.heappop(self.pending)
+            self.active_kernels += 1
+            ks.admitted = True
+            self.next_dispatch_ok = self.now + self.cost.dispatch_serialization_cycles
+            self.place_queue.append(ks)
+        self._place_blocks()
+
+    # -- block placement -------------------------------------------------------
+
+    def _fits(self, sm: _SM, warps: int, threads: int) -> bool:
+        return (sm.blocks < self.spec.max_blocks_per_sm
+                and sm.warps + warps <= self.spec.max_warps_per_sm
+                and sm.threads + threads <= self.spec.max_threads_per_sm)
+
+    def _place_blocks(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            # resume suspended blocks first (swap-in priority)
+            if self._suspended:
+                run, resume_cost = self._suspended[0]
+                if self._acquire(run, extra_delay=resume_cost):
+                    self._suspended.pop(0)
+                    progressed = True
+                    continue
+            for ks in list(self.place_queue):
+                if ks.next_block >= len(ks.inst.blocks):
+                    self.place_queue.remove(ks)
+                    continue
+                trace = ks.inst.blocks[ks.next_block]
+                run = _BlockRun(ks, trace)
+                if self._acquire(run):
+                    ks.next_block += 1
+                    progressed = True
+                    break  # placement order: FIFO across kernels
+
+    def _acquire(self, run: _BlockRun, extra_delay: float = 0.0) -> bool:
+        warps = run.trace.num_warps
+        threads = run.trace.num_threads
+        for i, sm in enumerate(self.sms):
+            if self._fits(sm, warps, threads):
+                self._advance_occupancy(self.now)
+                sm.blocks += 1
+                sm.warps += warps
+                sm.threads += threads
+                self._resident_warps += warps
+                run.sm = i
+                self._start_segment(run, extra_delay)
+                return True
+        return False
+
+    def _release(self, run: _BlockRun) -> None:
+        sm = self.sms[run.sm]
+        self._advance_occupancy(self.now)
+        sm.blocks -= 1
+        sm.warps -= run.trace.num_warps
+        sm.threads -= run.trace.num_threads
+        self._resident_warps -= run.trace.num_warps
+        run.sm = -1
+
+    # -- segment execution ----------------------------------------------------
+
+    def _start_segment(self, run: _BlockRun, extra_delay: float = 0.0) -> None:
+        seg = run.segment
+        duration = run.trace.segments[seg] + extra_delay
+        start = self.now
+        # schedule child launches that the trace attributes to this segment
+        for rec in run.trace.launches:
+            if rec.segment == seg:
+                offset = max(0, rec.offset_cycles - run.block_start_credit)
+                offset = min(offset, run.trace.segments[seg])
+                child_ks = self.kernels[rec.child.uid]
+                self._post(start + extra_delay + offset
+                           + self.cost.launch_latency_cycles,
+                           self._kernel_ready, child_ks)
+        self._post(start + duration, self._segment_done, run)
+
+    def _segment_done(self, run: _BlockRun) -> None:
+        run.block_start_credit += run.trace.segments[run.segment]
+        last = run.segment == len(run.trace.segments) - 1
+        if last:
+            self._release(run)
+            self._block_finished(run.kernel)
+            self._place_blocks()
+            return
+        # device-sync boundary: swap out, wait for children launched so far
+        run.segment += 1
+        wait = {rec.child.uid for rec in run.trace.launches
+                if rec.segment < run.segment}
+        wait = {uid for uid in wait if not self.kernels[uid].done}
+        self._release(run)
+        self.swaps += 1
+        if self.memsys is not None:
+            self.memsys.charge_overhead("swap", self.cost.swap_transactions)
+        if not wait:
+            self._resume_block(run)
+        else:
+            run.wait_uids = wait
+            for uid in wait:
+                self.kernels[uid].waiters.append(run)
+        self._place_blocks()
+
+    def _resume_block(self, run: _BlockRun) -> None:
+        self._suspended.append((run, float(self.cost.swap_cycles)))
+        self._place_blocks()
+
+    # -- completion ------------------------------------------------------------
+
+    def _block_finished(self, ks: _KernelState) -> None:
+        ks.blocks_left -= 1
+        if ks.blocks_left == 0:
+            self.active_kernels -= 1
+            if ks in self.place_queue:
+                self.place_queue.remove(ks)
+            self._try_dispatch()
+            self._check_done(ks)
+
+    def _check_done(self, ks: _KernelState) -> None:
+        if ks.done or ks.blocks_left > 0 or ks.children_left > 0:
+            return
+        ks.done = True
+        self.completion[ks.inst.uid] = self.now
+        if ks.inst.parent_uid is None and self._next_root < len(self._root_order):
+            # default-stream serialization: release the next host launch
+            self._post(self.now + self.cost.dispatch_serialization_cycles,
+                       self._release_next_root)
+        # notify parent
+        if ks.inst.parent_uid is not None:
+            parent = self.kernels[ks.inst.parent_uid]
+            parent.children_left -= 1
+            self._check_done(parent)
+        # wake suspended blocks waiting on this kernel
+        for run in ks.waiters:
+            run.wait_uids.discard(ks.inst.uid)
+            if not run.wait_uids:
+                self._resume_block(run)
+        ks.waiters.clear()

@@ -1,0 +1,32 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim.device import Device
+from repro.sim.specs import CostModel, K20C, TINY
+
+
+@pytest.fixture
+def device():
+    """A default simulated K20c with the pre-allocated pool allocator."""
+    return Device()
+
+
+@pytest.fixture
+def tiny_device():
+    """A tiny GPU: saturation effects appear with very small workloads."""
+    return Device(spec=TINY, heap_bytes=1024 * 1024)
+
+
+@pytest.fixture
+def simple_graph():
+    """A small deterministic CSR graph: 0->1,2; 1->2; 2->0,3; 3->(none)."""
+    row_ptr = np.array([0, 2, 3, 5, 5], dtype=np.int64)
+    col_idx = np.array([1, 2, 2, 0, 3], dtype=np.int32)
+    weights = np.array([1, 4, 2, 7, 1], dtype=np.int32)
+    from repro.data.structures import Graph
+
+    return Graph("tiny", row_ptr, col_idx, weights)

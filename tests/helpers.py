@@ -1,0 +1,19 @@
+"""Shared helpers for the test suite (importable, unlike conftest)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.device import Device
+
+
+def run_kernel(src: str, kernel: str, grid: int, block: int, arrays: dict,
+               scalars: tuple = (), device: Device | None = None):
+    """Load `src`, upload `arrays` (name -> np array), launch once,
+    synchronize, and return (device, metrics, uploaded handles)."""
+    dev = device or Device()
+    prog = dev.load(src)
+    handles = {name: dev.from_numpy(name, arr) for name, arr in arrays.items()}
+    prog.launch(kernel, grid, block, *handles.values(), *scalars)
+    metrics = dev.synchronize()
+    return dev, metrics, handles

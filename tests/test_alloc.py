@@ -1,0 +1,178 @@
+"""Allocator tests: functional invariants (no overlap, reuse after free)
+plus the cost-model wiring that Fig. 5 depends on."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.alloc import (
+    ALLOCATORS,
+    CudaDefaultAllocator,
+    HallocAllocator,
+    PreallocPoolAllocator,
+    make_allocator,
+)
+from repro.errors import AllocationError
+from repro.sim.specs import CostModel
+
+HEAP_BASE = 0x100000
+HEAP_BYTES = 1 << 20
+
+
+def make(cls, **kw):
+    return cls(HEAP_BASE, HEAP_BYTES, op_cycles=100, **kw)
+
+
+ALL_CLASSES = [CudaDefaultAllocator, HallocAllocator, PreallocPoolAllocator]
+
+
+@pytest.mark.parametrize("cls", ALL_CLASSES)
+class TestCommonBehaviour:
+    def test_allocations_in_heap_and_disjoint(self, cls):
+        alloc = make(cls)
+        spans = []
+        for i in range(50):
+            nbytes = 16 * (i % 7 + 1)
+            addr = alloc.alloc(nbytes)
+            assert HEAP_BASE <= addr and addr + nbytes <= HEAP_BASE + HEAP_BYTES
+            for lo, hi in spans:
+                assert addr + nbytes <= lo or addr >= hi, "overlap!"
+            spans.append((addr, addr + nbytes))
+
+    def test_stats_track_allocs(self, cls):
+        alloc = make(cls)
+        alloc.alloc(64)
+        alloc.alloc(64)
+        assert alloc.stats.allocs == 2
+        assert alloc.stats.cycles == 200
+
+    def test_exhaustion_raises(self, cls):
+        alloc = make(cls)
+        with pytest.raises(AllocationError):
+            for _ in range(10_000):
+                alloc.alloc(HEAP_BYTES // 16)
+
+    def test_reset_recovers_all(self, cls):
+        alloc = make(cls)
+        for _ in range(10):
+            alloc.alloc(1024)
+        alloc.reset()
+        addr = alloc.alloc(1024)
+        assert HEAP_BASE <= addr < HEAP_BASE + HEAP_BYTES
+
+
+class TestCudaDefault:
+    def test_free_allows_reuse(self):
+        alloc = make(CudaDefaultAllocator)
+        a = alloc.alloc(256)
+        alloc.free(a)
+        b = alloc.alloc(256)
+        assert b == a  # first-fit reuses the hole
+
+    def test_free_coalesces_neighbours(self):
+        alloc = make(CudaDefaultAllocator)
+        a = alloc.alloc(256)
+        b = alloc.alloc(256)
+        c = alloc.alloc(256)
+        alloc.free(a)
+        alloc.free(b)
+        # a+b coalesced: a 512-byte block fits where neither hole alone would
+        d = alloc.alloc(512)
+        assert d == a
+        alloc.free(c)
+        alloc.free(d)
+        assert len(alloc.free_list) == 1  # fully coalesced heap
+
+    def test_double_free_raises(self):
+        alloc = make(CudaDefaultAllocator)
+        a = alloc.alloc(64)
+        alloc.free(a)
+        with pytest.raises(AllocationError):
+            alloc.free(a)
+
+    @given(st.lists(st.tuples(st.integers(1, 2048), st.booleans()),
+                    min_size=1, max_size=60))
+    @settings(max_examples=50, deadline=None)
+    def test_property_no_overlap_with_frees(self, ops):
+        alloc = make(CudaDefaultAllocator)
+        live = {}
+        for nbytes, do_free in ops:
+            if do_free and live:
+                addr = next(iter(live))
+                alloc.free(addr)
+                del live[addr]
+            else:
+                addr = alloc.alloc(nbytes)
+                size = alloc.allocated[addr]
+                for other, osize in live.items():
+                    assert addr + size <= other or addr >= other + osize
+                live[addr] = size
+        # total free + live bytes == heap bytes
+        free_bytes = sum(n for _, n in alloc.free_list)
+        live_bytes = sum(live.values())
+        assert free_bytes + live_bytes == HEAP_BYTES
+
+
+class TestHalloc:
+    def test_size_classes_are_powers_of_two(self):
+        assert HallocAllocator._size_class(17) == 32
+        assert HallocAllocator._size_class(16) == 16
+        assert HallocAllocator._size_class(100) == 128
+
+    def test_small_free_reuses_chunk(self):
+        alloc = make(HallocAllocator)
+        a = alloc.alloc(100)
+        alloc.free(a)
+        b = alloc.alloc(100)
+        assert b == a  # LIFO free stack
+
+    def test_large_allocations_fall_back(self):
+        alloc = make(HallocAllocator)
+        a = alloc.alloc(100_000)  # > max_small
+        assert a >= alloc.small_limit
+
+    def test_double_free_raises(self):
+        alloc = make(HallocAllocator)
+        a = alloc.alloc(64)
+        alloc.free(a)
+        with pytest.raises(AllocationError):
+            alloc.free(a)
+
+
+class TestPreallocPool:
+    def test_bump_monotone(self):
+        alloc = make(PreallocPoolAllocator)
+        addrs = [alloc.alloc(64) for _ in range(10)]
+        assert addrs == sorted(addrs)
+
+    def test_free_is_noop(self):
+        alloc = make(PreallocPoolAllocator)
+        a = alloc.alloc(64)
+        alloc.free(a)
+        b = alloc.alloc(64)
+        assert b != a  # no reuse until reset
+
+    def test_pool_exhaustion_message_mentions_totalSize(self):
+        alloc = make(PreallocPoolAllocator)
+        with pytest.raises(AllocationError, match="totalSize"):
+            alloc.alloc(2 * HEAP_BYTES)
+
+
+class TestFactory:
+    def test_cost_model_prices(self):
+        cost = CostModel()
+        a = make_allocator("default", HEAP_BASE, HEAP_BYTES, cost)
+        b = make_allocator("halloc", HEAP_BASE, HEAP_BYTES, cost)
+        c = make_allocator("custom", HEAP_BASE, HEAP_BYTES, cost)
+        assert a.op_cycles == cost.malloc_default_cycles
+        assert b.op_cycles == cost.malloc_halloc_cycles
+        assert c.op_cycles == cost.malloc_prealloc_cycles
+        assert a.op_cycles > b.op_cycles > c.op_cycles  # Fig. 5's premise
+
+    def test_aliases(self):
+        cost = CostModel()
+        assert make_allocator("pre-alloc", HEAP_BASE, HEAP_BYTES, cost).kind == "custom"
+        assert make_allocator("malloc", HEAP_BASE, HEAP_BYTES, cost).kind == "default"
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            make_allocator("arena", HEAP_BASE, HEAP_BYTES, CostModel())

@@ -1,0 +1,205 @@
+"""Template-analysis tests (§IV.C preconditions)."""
+
+import pytest
+
+from repro.compiler.analysis import (
+    MULTI_BLOCK,
+    SOLO_BLOCK,
+    SOLO_THREAD,
+    classify_child,
+    expr_is_uniform,
+    find_template,
+)
+from repro.errors import TransformError
+from repro.frontend.parser import parse
+from repro.frontend.typecheck import check_module
+
+
+def template_for(src, parent=None):
+    return find_template(check_module(parse(src)), parent)
+
+
+BASE = """
+__global__ void child(int* a, int u) {{
+    int t = threadIdx.x;
+    a[u + t] = t;
+}}
+__global__ void parent(int* a, int n) {{
+    int u = blockIdx.x * blockDim.x + threadIdx.x;
+    if (u < n) {{
+        int deg = a[u];
+        #pragma dp consldt(block) work(u)
+        if (deg > 4) {{
+            child<<<{config}>>>(a, u);
+        }}
+    }}
+}}
+"""
+
+
+class TestClassification:
+    def test_solo_thread(self):
+        tpl = template_for(BASE.format(config="1, 1"))
+        assert tpl.child_kind == SOLO_THREAD
+
+    def test_solo_block(self):
+        tpl = template_for(BASE.format(config="1, deg"))
+        assert tpl.child_kind == SOLO_BLOCK
+
+    def test_solo_block_constant(self):
+        tpl = template_for(BASE.format(config="1, 64"))
+        assert tpl.child_kind == SOLO_BLOCK
+        assert tpl.dim_const == 64
+
+    def test_multi_block(self):
+        tpl = template_for(BASE.format(config="(deg + 63) / 64, 64"))
+        assert tpl.child_kind == MULTI_BLOCK
+
+
+class TestSections:
+    def test_anchor_and_postwork(self):
+        src = """
+        __global__ void child(int* a, int u) { a[u] = 1; }
+        __global__ void parent(int* a, int n) {
+            int u = threadIdx.x;
+            #pragma dp consldt(grid) work(u)
+            if (u < n) { child<<<1, 1>>>(a, u); }
+            cudaDeviceSynchronize();
+            a[n + u] = 2;
+            a[n + u + 1] = 3;
+        }
+        """
+        tpl = template_for(src)
+        assert tpl.anchor_index == 1
+        assert tpl.had_device_sync
+        assert len(tpl.postwork_indexes) == 2
+
+    def test_no_postwork(self):
+        tpl = template_for(BASE.format(config="1, deg"))
+        assert tpl.postwork_indexes == []
+        assert not tpl.had_device_sync
+
+    def test_recursion_detected(self):
+        src = """
+        __global__ void r(int* a, int u) {
+            int deg = a[u];
+            #pragma dp consldt(grid) work(u)
+            if (deg > 0) { r<<<1, deg>>>(a, u + 1); }
+        }
+        """
+        tpl = template_for(src)
+        assert tpl.recursive
+
+
+class TestBindings:
+    def test_uniform_vs_work_split(self):
+        tpl = template_for(BASE.format(config="1, deg"))
+        modes = {b.param_name: b.mode for b in tpl.bindings}
+        assert modes == {"a": "uniform", "u": "work"}
+
+    def test_dim_variable_buffered_as_synthetic_field(self):
+        tpl = template_for(BASE.format(config="1, deg"))
+        assert tpl.fields == ["u", "deg"]
+        assert tpl.dim_field == 1
+
+    def test_dim_already_in_work_reused(self):
+        src = BASE.format(config="1, deg").replace("work(u)", "work(u, deg)")
+        tpl = template_for(src)
+        assert tpl.fields == ["u", "deg"]
+        assert tpl.dim_field == 1
+
+    def test_thread_dependent_arg_not_in_work_rejected(self):
+        src = """
+        __global__ void child(int* a, int u, int v) { a[u] = v; }
+        __global__ void parent(int* a, int n) {
+            int u = threadIdx.x;
+            int v = a[u];
+            #pragma dp consldt(block) work(u)
+            if (u < n) { child<<<1, 1>>>(a, u, v); }
+        }
+        """
+        with pytest.raises(TransformError, match="work"):
+            template_for(src)
+
+    def test_uniform_expression_arg_allowed(self):
+        src = """
+        __global__ void child(int* a, int u, int m) { a[u] = m; }
+        __global__ void parent(int* a, int n) {
+            int u = threadIdx.x;
+            #pragma dp consldt(block) work(u)
+            if (u < n) { child<<<1, 1>>>(a, u, n * 2 + 1); }
+        }
+        """
+        tpl = template_for(src)
+        assert [b.mode for b in tpl.bindings] == ["uniform", "work", "uniform"]
+
+    def test_float_work_variable_rejected(self):
+        src = """
+        __global__ void child(float* a, float x) { a[0] = x; }
+        __global__ void parent(float* a, int n) {
+            float x = a[threadIdx.x];
+            #pragma dp consldt(block) work(x)
+            if (n > 0) { child<<<1, 1>>>(a, x); }
+        }
+        """
+        with pytest.raises(TransformError, match="integer"):
+            template_for(src)
+
+
+class TestErrors:
+    def test_no_pragma(self):
+        src = "__global__ void k(int* a) { a[0] = 1; }"
+        with pytest.raises(TransformError, match="no #pragma dp"):
+            template_for(src)
+
+    def test_two_pragmas_rejected(self):
+        src = """
+        __global__ void c(int* a, int u) { a[u] = 1; }
+        __global__ void p(int* a, int n) {
+            int u = threadIdx.x;
+            #pragma dp consldt(block) work(u)
+            if (u < n) { c<<<1, 1>>>(a, u); }
+            #pragma dp consldt(block) work(u)
+            if (u > n) { c<<<1, 1>>>(a, u); }
+        }
+        """
+        with pytest.raises(TransformError, match="exactly one"):
+            template_for(src)
+
+    def test_pragma_without_launch(self):
+        src = """
+        __global__ void p(int* a, int n) {
+            int u = threadIdx.x;
+            #pragma dp consldt(block) work(u)
+            if (u < n) { a[u] = 1; }
+        }
+        """
+        with pytest.raises(TransformError, match="exactly one kernel"):
+            template_for(src)
+
+    def test_launch_dim_expression_rejected_without_variable(self):
+        src = """
+        __global__ void child(int* a, int u) { a[u] = threadIdx.x; }
+        __global__ void parent(int* a, int n) {
+            int u = threadIdx.x;
+            #pragma dp consldt(block) work(u)
+            if (u < n) { child<<<1, a[u] + 1>>>(a, u); }
+        }
+        """
+        with pytest.raises(TransformError, match="block dimension"):
+            template_for(src)
+
+
+class TestUniformity:
+    def test_uniform_expression_analysis(self):
+        src = BASE.format(config="1, deg")
+        info = check_module(parse(src))
+        parent = info.module.function("parent")
+        from repro.compiler.analysis import uniform_names
+
+        uniforms = uniform_names(parent, info)
+        assert uniforms == {"a", "n"}
+        e_n = parse("__global__ void x(int n) { n = n + 1; }")
+        expr = e_n.function("x").body.stmts[0].expr.value
+        assert expr_is_uniform(expr, {"n"})
+        assert not expr_is_uniform(expr, set())

@@ -1,0 +1,140 @@
+"""AST infrastructure tests: Type, traversal, Transformer, clone."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.frontend.ast_nodes import (
+    BinOp,
+    Block,
+    ExprStmt,
+    Ident,
+    If,
+    IntLit,
+    Transformer,
+    Type,
+    clone,
+    iter_children,
+    walk,
+)
+from repro.frontend.parser import parse
+
+
+class TestType:
+    def test_str(self):
+        assert str(Type("int", 1)) == "int*"
+        assert str(Type("uint")) == "unsigned int"
+        assert str(Type("float", 2)) == "float**"
+
+    def test_predicates(self):
+        assert Type("int").is_integer and Type("int").is_arith
+        assert Type("float").is_float and not Type("float").is_integer
+        assert Type("int", 1).is_pointer and not Type("int", 1).is_arith
+        assert Type("void").is_void and not Type("void", 1).is_void
+
+    def test_pointee_roundtrip(self):
+        t = Type("float", 2)
+        assert t.pointee().pointer_to() == t
+
+    def test_deref_scalar_raises(self):
+        with pytest.raises(ValueError):
+            Type("int").pointee()
+
+    def test_unknown_base_raises(self):
+        with pytest.raises(ValueError):
+            Type("quux")
+
+
+class TestEquality:
+    def test_structural_equality_ignores_locations(self):
+        a = parse("__global__ void k(int* a) { a[0] = 1 + 2; }")
+        b = parse("__global__ void k(int* a)\n{\n  a[0] = 1 + 2;\n}")
+        assert a == b
+
+    def test_value_difference_detected(self):
+        a = parse("__global__ void k(int* a) { a[0] = 1; }")
+        b = parse("__global__ void k(int* a) { a[0] = 2; }")
+        assert a != b
+
+    def test_different_node_types_unequal(self):
+        assert IntLit(1) != Ident("x")
+
+
+class TestTraversal:
+    SRC = "__global__ void k(int* a, int n) { if (n) { a[0] = n + 1; } }"
+
+    def test_walk_visits_everything(self):
+        mod = parse(self.SRC)
+        kinds = {type(n).__name__ for n in walk(mod)}
+        assert {"Module", "FunctionDef", "Block", "If", "ExprStmt",
+                "Assign", "Index", "BinOp", "Ident", "IntLit"} <= kinds
+
+    def test_iter_children_is_shallow(self):
+        mod = parse(self.SRC)
+        fn = mod.function("k")
+        children = list(iter_children(fn))
+        assert any(isinstance(c, Block) for c in children)
+
+    def test_walk_preorder(self):
+        e = BinOp("+", IntLit(1), IntLit(2))
+        assert [type(n).__name__ for n in walk(e)] == ["BinOp", "IntLit", "IntLit"]
+
+
+class TestTransformer:
+    def test_identity_returns_same_object(self):
+        mod = parse(self.SRC) if hasattr(self, "SRC") else parse(
+            "__global__ void k(int* a) { a[0] = 1; }")
+        out = Transformer().visit(mod)
+        assert out is mod  # untouched trees are not rebuilt
+
+    def test_leaf_replacement_rebuilds_spine_only(self):
+        mod = parse("__global__ void k(int* a) { a[0] = 1; a[1] = 2; }")
+
+        class AddTen(Transformer):
+            def visit_IntLit(self, node):
+                return IntLit(node.value + 10)
+
+        out = AddTen().visit(mod)
+        values = [n.value for n in walk(out) if isinstance(n, IntLit)]
+        assert values == [10, 11, 11, 12]
+        assert out is not mod
+
+    def test_statement_splice(self):
+        mod = parse("__global__ void k(int* a) { a[0] = 1; }")
+
+        class Duplicate(Transformer):
+            def visit_ExprStmt(self, node):
+                return [node, node]
+
+        out = Duplicate().visit(mod)
+        body = out.function("k").body
+        assert len(body.stmts) == 2
+
+    def test_statement_removal(self):
+        mod = parse("__global__ void k(int* a) { a[0] = 1; a[1] = 2; }")
+
+        class DropAll(Transformer):
+            def visit_ExprStmt(self, node):
+                return []
+
+        out = DropAll().visit(mod)
+        assert out.function("k").body.stmts == []
+
+
+class TestClone:
+    def test_clone_is_equal_but_distinct(self):
+        mod = parse("__global__ void k(int* a, int n) { if (n) a[0] = n; }")
+        cp = clone(mod)
+        assert cp == mod
+        originals = {id(n) for n in walk(mod)}
+        copies = {id(n) for n in walk(cp)}
+        assert originals.isdisjoint(copies)
+
+    def test_clone_preserves_shape(self):
+        mod = parse("__global__ void k(int* a) { for (int i = 0; i < 4; i++) a[i] = i; }")
+        cp = clone(mod)
+        assert len(list(walk(cp))) == len(list(walk(mod)))
+
+
+@given(st.integers(-1000, 1000), st.integers(-1000, 1000))
+def test_intlit_equality_property(x, y):
+    assert (IntLit(x) == IntLit(y)) == (x == y)

@@ -1,0 +1,38 @@
+"""CLI smoke tests."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "sssp" in out and "fig7" in out
+
+    def test_compile(self, capsys):
+        assert main(["compile", "sssp", "--granularity", "warp"]) == 0
+        out = capsys.readouterr().out
+        assert "sssp_child_cons_warp" in out
+
+    def test_run_variant(self, capsys):
+        assert main(["run", "spmv", "grid-level", "--scale", "0.15"]) == 0
+        out = capsys.readouterr().out
+        assert "verified=True" in out
+        assert "cycles" in out
+
+    def test_run_with_allocator(self, capsys):
+        assert main(["run", "spmv", "block-level", "--scale", "0.15",
+                     "--allocator", "halloc"]) == 0
+        out = capsys.readouterr().out
+        assert "halloc" in out
+
+    def test_figure_command(self, capsys):
+        assert main(["fig5", "--scale", "0.15"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 5" in out
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

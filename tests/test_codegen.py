@@ -1,0 +1,287 @@
+"""Backend semantics tests: compiled kernels must behave like the C they
+were written as. Each test runs a tiny kernel on the simulator and checks
+device memory afterwards."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CodegenError
+from repro.frontend.parser import parse
+from repro.frontend.typecheck import check_module
+from repro.backend.codegen import compile_module, generate_module_source
+from repro.sim.device import Device
+
+from tests.helpers import run_kernel
+
+
+def out_i32(n=8):
+    return {"out": np.zeros(n, dtype=np.int32)}
+
+
+class TestArithmetic:
+    def test_int_division_truncates_toward_zero(self):
+        src = """__global__ void k(int* out) {
+            out[0] = 7 / 2; out[1] = -7 / 2; out[2] = 7 / -2;
+        }"""
+        _, _, h = run_kernel(src, "k", 1, 1, out_i32())
+        assert list(h["out"].data[:3]) == [3, -3, -3]
+
+    def test_modulo_sign_follows_dividend(self):
+        src = """__global__ void k(int* out) {
+            out[0] = 7 % 3; out[1] = -7 % 3; out[2] = 7 % -3;
+        }"""
+        _, _, h = run_kernel(src, "k", 1, 1, out_i32())
+        assert list(h["out"].data[:3]) == [1, -1, 1]
+
+    def test_float_division(self):
+        src = """__global__ void k(float* out) { out[0] = 7.0f / 2.0f; }"""
+        _, _, h = run_kernel(src, "k", 1, 1, {"out": np.zeros(1, np.float32)})
+        assert h["out"].data[0] == pytest.approx(3.5)
+
+    def test_mixed_division_promotes(self):
+        src = """__global__ void k(float* out, int n) { out[0] = n / 2.0f; }"""
+        _, _, h = run_kernel(src, "k", 1, 1, {"out": np.zeros(1, np.float32)},
+                             scalars=(7,))
+        assert h["out"].data[0] == pytest.approx(3.5)
+
+    def test_bitwise_and_shifts(self):
+        src = """__global__ void k(int* out) {
+            out[0] = 12 & 10; out[1] = 12 | 3; out[2] = 12 ^ 10;
+            out[3] = 3 << 4; out[4] = 256 >> 3; out[5] = ~0;
+        }"""
+        _, _, h = run_kernel(src, "k", 1, 1, out_i32())
+        assert list(h["out"].data[:6]) == [8, 15, 6, 48, 32, -1]
+
+    def test_ternary_and_comparison(self):
+        src = """__global__ void k(int* out, int n) {
+            out[0] = n > 3 ? 10 : 20;
+            out[1] = (n == 5 && n != 4) ? 1 : 0;
+        }"""
+        _, _, h = run_kernel(src, "k", 1, 1, out_i32(), scalars=(5,))
+        assert list(h["out"].data[:2]) == [10, 1]
+
+    def test_int_truncation_on_assignment(self):
+        src = """__global__ void k(int* out) {
+            int x = 0;
+            x = 7 / 2.0f;
+            out[0] = x;
+        }"""
+        _, _, h = run_kernel(src, "k", 1, 1, out_i32())
+        assert h["out"].data[0] == 3
+
+    def test_math_intrinsics(self):
+        src = """__global__ void k(float* out) {
+            out[0] = sqrtf(16.0f);
+            out[1] = fabsf(-2.5f);
+            out[2] = powf(2.0f, 10.0f);
+            out[3] = min(3.0f, 1.0f);
+            out[4] = max(3.0f, 1.0f);
+        }"""
+        _, _, h = run_kernel(src, "k", 1, 1, {"out": np.zeros(8, np.float32)})
+        assert list(h["out"].data[:5]) == [4.0, 2.5, 1024.0, 1.0, 3.0]
+
+
+class TestControlFlow:
+    def test_for_loop(self):
+        src = """__global__ void k(int* out) {
+            int acc = 0;
+            for (int i = 1; i <= 10; i++) acc += i;
+            out[0] = acc;
+        }"""
+        _, _, h = run_kernel(src, "k", 1, 1, out_i32())
+        assert h["out"].data[0] == 55
+
+    def test_while_with_break(self):
+        src = """__global__ void k(int* out) {
+            int i = 0;
+            while (true) { i++; if (i == 7) break; }
+            out[0] = i;
+        }"""
+        _, _, h = run_kernel(src, "k", 1, 1, out_i32())
+        assert h["out"].data[0] == 7
+
+    def test_do_while_runs_once(self):
+        src = """__global__ void k(int* out) {
+            int i = 0;
+            do { i++; } while (false);
+            out[0] = i;
+        }"""
+        _, _, h = run_kernel(src, "k", 1, 1, out_i32())
+        assert h["out"].data[0] == 1
+
+    def test_continue_in_while(self):
+        src = """__global__ void k(int* out) {
+            int i = 0, acc = 0;
+            while (i < 10) { i++; if (i % 2 == 0) continue; acc += i; }
+            out[0] = acc;
+        }"""
+        _, _, h = run_kernel(src, "k", 1, 1, out_i32())
+        assert h["out"].data[0] == 25
+
+    def test_continue_in_for_rejected(self):
+        src = """__global__ void k(int* out) {
+            for (int i = 0; i < 4; i++) { if (i == 2) continue; out[i] = i; }
+        }"""
+        info = check_module(parse(src))
+        with pytest.raises(CodegenError):
+            compile_module(info)
+
+    def test_early_return(self):
+        src = """__global__ void k(int* out, int n) {
+            if (n < 0) return;
+            out[0] = 1;
+        }"""
+        _, _, h = run_kernel(src, "k", 1, 1, out_i32(), scalars=(-5,))
+        assert h["out"].data[0] == 0
+
+
+class TestMemoryAndThreads:
+    def test_thread_indexing(self):
+        src = """__global__ void k(int* out) {
+            int t = blockIdx.x * blockDim.x + threadIdx.x;
+            out[t] = t * 10;
+        }"""
+        _, _, h = run_kernel(src, "k", 2, 4, out_i32())
+        assert list(h["out"].data) == [0, 10, 20, 30, 40, 50, 60, 70]
+
+    def test_pointer_arithmetic(self):
+        src = """__global__ void k(int* out) {
+            int* p = out + 2;
+            p[0] = 42;
+            *(out + 5) = 7;
+        }"""
+        _, _, h = run_kernel(src, "k", 1, 1, out_i32())
+        assert h["out"].data[2] == 42 and h["out"].data[5] == 7
+
+    def test_local_array(self):
+        src = """__global__ void k(int* out) {
+            int tmp[4];
+            for (int i = 0; i < 4; i++) tmp[i] = i * i;
+            for (int i = 0; i < 4; i++) out[i] = tmp[i];
+        }"""
+        _, _, h = run_kernel(src, "k", 1, 1, out_i32())
+        assert list(h["out"].data[:4]) == [0, 1, 4, 9]
+
+    def test_shared_memory_with_barrier(self):
+        src = """__global__ void k(int* out, int n) {
+            __shared__ int tile[64];
+            int t = threadIdx.x;
+            tile[t] = t;
+            __syncthreads();
+            out[t] = tile[(t + 1) % n];
+        }"""
+        _, _, h = run_kernel(src, "k", 1, 8, out_i32(), scalars=(8,))
+        assert list(h["out"].data) == [1, 2, 3, 4, 5, 6, 7, 0]
+
+    def test_shared_scalar(self):
+        src = """__global__ void k(int* out) {
+            __shared__ int total;
+            if (threadIdx.x == 0) total = 100;
+            __syncthreads();
+            out[threadIdx.x] = total;
+        }"""
+        _, _, h = run_kernel(src, "k", 1, 4, out_i32())
+        assert list(h["out"].data[:4]) == [100] * 4
+
+    def test_compound_assignment_to_global(self):
+        src = """__global__ void k(int* out) {
+            out[0] = 5;
+            out[0] += 3;
+            out[0] *= 2;
+        }"""
+        _, _, h = run_kernel(src, "k", 1, 1, out_i32())
+        assert h["out"].data[0] == 16
+
+    def test_global_device_variable(self):
+        src = """
+        __device__ int counter = 0;
+        __global__ void k(int* out) { out[0] = counter; }
+        """
+        # file-scope globals are not yet materialized as device arrays;
+        # reads resolve to their initializer value via the namespace
+        info = check_module(parse(src))
+        source = generate_module_source(info)
+        assert "__mc_k" in source
+
+
+class TestAtomics:
+    def test_atomic_add_from_many_threads(self):
+        src = """__global__ void k(int* out) { atomicAdd(&out[0], 1); }"""
+        _, _, h = run_kernel(src, "k", 4, 64, out_i32())
+        assert h["out"].data[0] == 256
+
+    def test_atomic_returns_old_value(self):
+        src = """__global__ void k(int* out) {
+            int old = atomicAdd(&out[0], 5);
+            out[1 + old / 5] = old;
+        }"""
+        _, _, h = run_kernel(src, "k", 1, 3, out_i32())
+        assert h["out"].data[0] == 15
+        assert sorted(h["out"].data[1:4]) == [0, 5, 10]
+
+    def test_atomic_min_max(self):
+        src = """__global__ void k(int* out) {
+            int t = threadIdx.x;
+            atomicMin(&out[0], t);
+            atomicMax(&out[1], t);
+        }"""
+        arrays = {"out": np.array([99, -1, 0, 0], dtype=np.int32)}
+        _, _, h = run_kernel(src, "k", 1, 8, arrays)
+        assert h["out"].data[0] == 0 and h["out"].data[1] == 7
+
+    def test_atomic_cas(self):
+        src = """__global__ void k(int* out) {
+            atomicCAS(&out[0], 0, threadIdx.x + 1);
+        }"""
+        _, _, h = run_kernel(src, "k", 1, 8, out_i32())
+        assert h["out"].data[0] == 1  # first lane wins
+
+    def test_float_atomic_add(self):
+        src = """__global__ void k(float* out) { atomicAdd(&out[0], 0.5f); }"""
+        _, _, h = run_kernel(src, "k", 1, 32, {"out": np.zeros(1, np.float32)})
+        assert h["out"].data[0] == pytest.approx(16.0)
+
+
+class TestDeviceFunctions:
+    def test_device_function_call(self):
+        src = """
+        __device__ int square(int x) { return x * x; }
+        __global__ void k(int* out) { out[threadIdx.x] = square(threadIdx.x); }
+        """
+        _, _, h = run_kernel(src, "k", 1, 5, out_i32())
+        assert list(h["out"].data[:5]) == [0, 1, 4, 9, 16]
+
+    def test_device_function_with_memory_access(self):
+        src = """
+        __device__ int load2(int* p, int i) { return p[i] + p[i + 1]; }
+        __global__ void k(int* out) { out[4] = load2(out, 0); }
+        """
+        arrays = {"out": np.array([10, 20, 0, 0, 0], dtype=np.int32)}
+        _, _, h = run_kernel(src, "k", 1, 1, arrays)
+        assert h["out"].data[4] == 30
+
+    def test_nested_device_functions(self):
+        src = """
+        __device__ int inc(int x) { return x + 1; }
+        __device__ int inc2(int x) { return inc(inc(x)); }
+        __global__ void k(int* out) { out[0] = inc2(40); }
+        """
+        _, _, h = run_kernel(src, "k", 1, 1, out_i32())
+        assert h["out"].data[0] == 42
+
+
+class TestGeneratedSource:
+    def test_source_is_deterministic(self):
+        src = "__global__ void k(int* a) { a[0] = 1; }"
+        info1 = check_module(parse(src))
+        info2 = check_module(parse(src))
+        assert generate_module_source(info1) == generate_module_source(info2)
+
+    def test_kernels_table_lists_kernels_only(self):
+        src = """
+        __device__ int f(int x) { return x; }
+        __global__ void k(int* a) { a[0] = f(1); }
+        """
+        compiled = compile_module(check_module(parse(src)))
+        assert set(compiled.kernels) == {"k"}
+        assert set(compiled.functions) == {"f", "k"}

@@ -1,0 +1,288 @@
+"""End-to-end consolidation-compiler tests: structure of the generated
+CUDA for all three granularities, the three child kinds, recursion and
+grid-level postwork extraction."""
+
+import pytest
+
+from repro.compiler import consolidate_source
+from repro.errors import TransformError
+from repro.frontend.ast_nodes import Call, ExprStmt, If, LaunchExpr, walk
+from repro.frontend.parser import parse
+
+SOLO_BLOCK_SRC = """
+__global__ void child(int* a, int u) {
+    int deg = a[u];
+    int t = threadIdx.x;
+    if (t < deg) { a[u + 1 + t] = t; }
+}
+__global__ void parent(int* a, int n) {
+    int u = blockIdx.x * blockDim.x + threadIdx.x;
+    if (u < n) {
+        int deg = a[u];
+        #pragma dp consldt(block) work(u)
+        if (deg > 2) {
+            child<<<1, deg>>>(a, u);
+        }
+    }
+}
+"""
+
+SOLO_THREAD_SRC = """
+__global__ void child(int* a, int u) { a[u] = a[u] + 1; }
+__global__ void parent(int* a, int n) {
+    int u = blockIdx.x * blockDim.x + threadIdx.x;
+    #pragma dp consldt(block) work(u)
+    if (u < n) {
+        child<<<1, 1>>>(a, u);
+    }
+}
+"""
+
+MULTI_BLOCK_SRC = """
+__global__ void child(int* a, int u) {
+    int deg = a[u];
+    for (int i = blockIdx.x * blockDim.x + threadIdx.x; i < deg;
+         i += gridDim.x * blockDim.x) {
+        a[u + 1 + i] = i;
+    }
+}
+__global__ void parent(int* a, int n) {
+    int u = blockIdx.x * blockDim.x + threadIdx.x;
+    if (u < n) {
+        int deg = a[u];
+        #pragma dp consldt(grid) work(u)
+        if (deg > 2) {
+            child<<<(deg + 31) / 32, 32>>>(a, u);
+        }
+    }
+}
+"""
+
+
+def kernel_names(result):
+    return {f.name for f in result.module.kernels()}
+
+
+def launches_in(module, fn_name):
+    return [n for n in walk(module.function(fn_name))
+            if isinstance(n, LaunchExpr)]
+
+
+def calls_in(module, fn_name, callee):
+    return [n for n in walk(module.function(fn_name))
+            if isinstance(n, Call) and n.callee == callee]
+
+
+class TestGeneratedStructure:
+    def test_new_kernel_added(self):
+        res = consolidate_source(SOLO_BLOCK_SRC)
+        assert kernel_names(res) == {"child", "parent", "child_cons_block"}
+
+    def test_original_launch_replaced_by_push(self):
+        res = consolidate_source(SOLO_BLOCK_SRC)
+        launches = launches_in(res.module, "parent")
+        assert len(launches) == 1
+        assert launches[0].callee == "child_cons_block"
+        # fields: u + synthetic dim
+        assert calls_in(res.module, "parent", "__dp_buf_push2")
+
+    def test_designated_thread_guard(self):
+        res = consolidate_source(SOLO_BLOCK_SRC, granularity="block")
+        assert "__syncthreads()" in res.source
+        assert "if (threadIdx.x == 0)" in res.source
+
+    def test_warp_granularity_uses_lane_guard(self):
+        res = consolidate_source(SOLO_BLOCK_SRC, granularity="warp")
+        assert "__syncwarp()" in res.source
+        assert "threadIdx.x % 32 == 0" in res.source
+        assert "__syncthreads()" not in res.source
+
+    def test_grid_granularity_uses_global_barrier(self):
+        res = consolidate_source(SOLO_BLOCK_SRC, granularity="grid")
+        assert "__dp_grid_arrive_last()" in res.source
+
+    def test_empty_buffer_guard(self):
+        res = consolidate_source(SOLO_BLOCK_SRC)
+        assert "if (__dp_n > 0)" in res.source
+
+    def test_kc_configs_differ_by_granularity(self):
+        warp = consolidate_source(SOLO_BLOCK_SRC, granularity="warp")
+        block = consolidate_source(SOLO_BLOCK_SRC, granularity="block")
+        grid = consolidate_source(SOLO_BLOCK_SRC, granularity="grid")
+        assert warp.report.config == (3, 256)
+        assert block.report.config == (6, 256)
+        assert grid.report.config == (104, 256)
+
+    def test_generated_source_reparses_and_rechecks(self):
+        for gran in ("warp", "block", "grid"):
+            res = consolidate_source(SOLO_BLOCK_SRC, granularity=gran)
+            from repro.frontend.typecheck import check_module
+
+            check_module(parse(res.source), allow_reserved=True)
+
+    def test_report_describe(self):
+        res = consolidate_source(SOLO_BLOCK_SRC)
+        text = res.report.describe()
+        assert "block-level" in text and "solo_block" in text
+
+
+class TestChildKinds:
+    def test_solo_thread_grid_stride_drain(self):
+        res = consolidate_source(SOLO_THREAD_SRC)
+        cons = res.module.function("child_cons_block")
+        text = res.source
+        assert "blockIdx.x * blockDim.x + threadIdx.x" in text
+        assert "gridDim.x * blockDim.x" in text
+        assert res.report.child_kind == "solo_thread"
+
+    def test_solo_block_moldable_wrap(self):
+        res = consolidate_source(SOLO_BLOCK_SRC)
+        text = res.source
+        assert "__dp_dim" in text
+        assert "for (int __dp_t = threadIdx.x; __dp_t < __dp_dim; "
+        assert res.report.child_kind == "solo_block"
+
+    def test_multi_block_item_loop(self):
+        res = consolidate_source(MULTI_BLOCK_SRC)
+        assert res.report.child_kind == "multi_block"
+        cons = res.module.function("child_cons_grid")
+        # outer item loop from 0 with stride 1
+        assert "for (int __dp_s = 0; __dp_s < __dp_n; __dp_s += 1)" in res.source
+
+    def test_syncthreads_in_solo_child_rejected(self):
+        src = SOLO_BLOCK_SRC.replace("a[u + 1 + t] = t;",
+                                     "a[u + 1 + t] = t; __syncthreads();")
+        with pytest.raises(TransformError, match="syncthreads"):
+            consolidate_source(src)
+
+
+class TestRecursion:
+    REC = """
+    __global__ void r(int* a, int u, int depth) {
+        int deg = a[u];
+        int t = threadIdx.x;
+        if (t < deg) {
+            int c = u + 1 + t;
+            int cdeg = a[c];
+            #pragma dp consldt(grid) work(c)
+            if (cdeg > 0) {
+                r<<<1, cdeg>>>(a, c, depth + 1);
+            } else {
+                a[c] = depth;
+            }
+        }
+    }
+    """
+
+    def test_consolidated_kernel_relaunches_itself(self):
+        res = consolidate_source(self.REC)
+        assert res.report.recursive
+        cons_launches = launches_in(res.module, "r_cons_grid")
+        assert len(cons_launches) == 1
+        assert cons_launches[0].callee == "r_cons_grid"
+
+    def test_host_facing_kernel_launches_consolidated(self):
+        res = consolidate_source(self.REC)
+        launches = launches_in(res.module, "r")
+        assert [l.callee for l in launches] == ["r_cons_grid"]
+
+    def test_both_push(self):
+        res = consolidate_source(self.REC)
+        assert calls_in(res.module, "r", "__dp_buf_push2")
+        assert calls_in(res.module, "r_cons_grid", "__dp_buf_push2")
+
+    def test_all_granularities_build(self):
+        for gran in ("warp", "block", "grid"):
+            res = consolidate_source(self.REC, granularity=gran)
+            assert f"r_cons_{gran}" in {f.name for f in res.module.kernels()}
+
+
+class TestPostwork:
+    POST = """
+    __global__ void child(int* a, int* flags, int u) {
+        int t = threadIdx.x;
+        if (t < a[u]) { flags[u] = 1; }
+    }
+    __global__ void parent(int* a, int* flags, int* count, int n) {
+        int u = blockIdx.x * blockDim.x + threadIdx.x;
+        if (u < n) {
+            int deg = a[u];
+            #pragma dp consldt(grid) work(u)
+            if (deg > 2) { child<<<1, deg>>>(a, flags, u); }
+        }
+        cudaDeviceSynchronize();
+        if (u < n) {
+            if (flags[u] == 1) { atomicAdd(&count[0], 1); }
+        }
+    }
+    """
+
+    def test_grid_level_extracts_postwork_kernel(self):
+        res = consolidate_source(self.POST, granularity="grid")
+        names = kernel_names(res)
+        assert "parent_post_grid" in names
+        assert res.report.postwork_kernel == "parent_post_grid"
+        # postwork kernel re-derives `u` from the duplicated pure decl
+        post = res.module.function("parent_post_grid")
+        assert "blockIdx.x * blockDim.x + threadIdx.x" in res.source
+
+    def test_grid_parent_has_no_inline_postwork(self):
+        res = consolidate_source(self.POST, granularity="grid")
+        assert not calls_in(res.module, "parent", "atomicAdd")
+
+    def test_last_block_launches_postwork_after_sync(self):
+        res = consolidate_source(self.POST, granularity="grid")
+        launches = launches_in(res.module, "parent")
+        assert [l.callee for l in launches] == ["child_cons_grid",
+                                                "parent_post_grid"]
+        assert calls_in(res.module, "parent", "cudaDeviceSynchronize")
+
+    def test_block_level_keeps_postwork_inline(self):
+        res = consolidate_source(self.POST, granularity="block")
+        assert res.report.postwork_kernel is None
+        assert calls_in(res.module, "parent", "atomicAdd")
+        assert calls_in(res.module, "parent", "cudaDeviceSynchronize")
+
+    def test_impure_postwork_dependency_rejected(self):
+        # `w` is initialized with an atomic in *prework*; grid-level
+        # postwork consolidation cannot duplicate it
+        bad = self.POST.replace(
+            "int u = blockIdx.x * blockDim.x + threadIdx.x;",
+            "int u = blockIdx.x * blockDim.x + threadIdx.x;\n"
+            "        int w = atomicAdd(&count[0], 0);",
+        ).replace("if (flags[u] == 1)", "if (flags[u] == w + 1)")
+        with pytest.raises(TransformError, match="postwork"):
+            consolidate_source(bad, granularity="grid")
+
+
+class TestBufferClauses:
+    def test_buffer_type_threaded_through(self):
+        src = SOLO_BLOCK_SRC.replace("work(u)",
+                                     "buffer(type: halloc) work(u)")
+        res = consolidate_source(src)
+        assert res.report.buffer_type == "halloc"
+
+    def test_per_buffer_size_literal(self):
+        src = SOLO_BLOCK_SRC.replace(
+            "work(u)", "buffer(type: custom, perBufferSize: 99) work(u)")
+        res = consolidate_source(src)
+        assert "99" in res.source
+
+    def test_threads_clause_overrides_config(self):
+        src = SOLO_BLOCK_SRC.replace("work(u)", "work(u) threads(64)")
+        res = consolidate_source(src)
+        assert res.report.config is not None and res.report.config[1] == 64
+
+    def test_blocks_clause_forces_explicit(self):
+        src = SOLO_BLOCK_SRC.replace("work(u)", "work(u) blocks(5) threads(64)")
+        res = consolidate_source(src)
+        assert res.report.config == (5, 64)
+
+    def test_granularity_override_beats_pragma(self):
+        res = consolidate_source(SOLO_BLOCK_SRC, granularity="grid")
+        assert res.report.granularity == "grid"
+
+    def test_name_collision_rejected(self):
+        src = SOLO_BLOCK_SRC + "\n__global__ void child_cons_block(int* a) { a[0] = 1; }"
+        with pytest.raises(TransformError, match="already contains"):
+            consolidate_source(src)

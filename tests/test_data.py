@@ -1,0 +1,141 @@
+"""Dataset structure and generator tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data import (
+    Graph,
+    Tree,
+    citeseer_like,
+    kron_like,
+    tree_dataset1,
+    tree_dataset2,
+    uniform_random,
+)
+from repro.data.structures import Graph as GraphCls
+
+
+class TestGraphStructure:
+    def test_basic_accessors(self, simple_graph):
+        g = simple_graph
+        assert g.num_nodes == 4 and g.num_edges == 5
+        assert g.out_degree(0) == 2
+        assert list(g.neighbors(2)) == [0, 3]
+        assert list(g.degrees) == [2, 1, 2, 0]
+
+    def test_validate_rejects_bad_col(self):
+        with pytest.raises(ValueError):
+            GraphCls("bad", np.array([0, 1]), np.array([7], dtype=np.int32),
+                     np.array([1], dtype=np.int32)).validate()
+
+    def test_stats_string(self, simple_graph):
+        assert "4 nodes" in simple_graph.stats()
+
+
+class TestCiteseerLike:
+    def test_deterministic(self):
+        a, b = citeseer_like(0.5, seed=7), citeseer_like(0.5, seed=7)
+        assert np.array_equal(a.col_idx, b.col_idx)
+
+    def test_seed_changes_graph(self):
+        a, b = citeseer_like(0.5, seed=7), citeseer_like(0.5, seed=8)
+        assert not np.array_equal(a.col_idx, b.col_idx)
+
+    def test_degree_skew(self):
+        g = citeseer_like(1.0)
+        d = g.degrees
+        assert d.min() >= 1
+        assert d.max() > 10 * np.median(d)  # heavy tail
+
+    def test_in_degree_skew_for_pagerank(self):
+        g = citeseer_like(1.0)
+        in_deg = np.bincount(g.col_idx, minlength=g.num_nodes)
+        assert in_deg.max() > 10 * max(1, int(np.median(in_deg)))
+
+    def test_scaling(self):
+        small = citeseer_like(0.25)
+        big = citeseer_like(1.0)
+        assert big.num_nodes > 2 * small.num_nodes
+
+    @given(st.floats(0.1, 1.5))
+    @settings(max_examples=5, deadline=None)
+    def test_always_valid(self, scale):
+        citeseer_like(scale).validate()
+
+
+class TestKronLike:
+    def test_symmetric(self):
+        g = kron_like(0.5)
+        n = g.num_nodes
+        src = np.repeat(np.arange(n), np.diff(g.row_ptr))
+        fwd = set(zip(src.tolist(), g.col_idx.tolist()))
+        assert fwd == {(b, a) for a, b in fwd}
+
+    def test_min_degree_floor(self):
+        g = kron_like(0.5)
+        # the floor is 8 before hub-capping; allow the cap to dent a few
+        assert np.median(g.degrees) >= 8
+
+    def test_max_degree_capped_for_block_launch(self):
+        g = kron_like(1.0)
+        assert g.degrees.max() <= 1023
+
+    def test_no_self_loops(self):
+        g = kron_like(0.5)
+        src = np.repeat(np.arange(g.num_nodes), np.diff(g.row_ptr))
+        assert not np.any(src == g.col_idx)
+
+    def test_deterministic(self):
+        assert np.array_equal(kron_like(0.5).col_idx, kron_like(0.5).col_idx)
+
+
+class TestTrees:
+    @pytest.mark.parametrize("gen", [tree_dataset1, tree_dataset2])
+    def test_valid_tree(self, gen):
+        t = gen(0.5)
+        t.validate()
+        assert t.num_nodes > 50
+
+    def test_dataset1_properties(self):
+        t = tree_dataset1(1.0)
+        assert t.depth == 5
+        nc = np.diff(t.child_ptr)
+        fertile = nc[nc > 0]
+        assert fertile.min() >= 2
+        # fanout spans the warp size (the load-bearing scaled property)
+        assert fertile.max() >= 32
+
+    def test_dataset2_wider_fanout_ratio(self):
+        t = tree_dataset2(1.0)
+        nc = np.diff(t.child_ptr)
+        fertile = nc[nc > 0]
+        assert fertile.max() / max(fertile.min(), 1) >= 2.0
+
+    def test_height_matches_depth_budget(self):
+        t = tree_dataset2(1.0)
+        assert t.height() == 6  # depth 5 => 6 levels including the root
+
+    def test_node_depths(self):
+        t = tree_dataset1(0.5)
+        depths = t.node_depths()
+        assert depths[0] == 0
+        assert depths.max() == t.height() - 1
+
+    def test_parents_consistent_with_children(self):
+        t = tree_dataset2(0.5)
+        parents = t.parents()
+        assert parents[0] == -1
+        for u in range(min(200, t.num_nodes)):
+            for c in t.children(u):
+                assert parents[c] == u
+
+    def test_deterministic(self):
+        a, b = tree_dataset1(0.5), tree_dataset1(0.5)
+        assert np.array_equal(a.child_idx, b.child_idx)
+
+
+class TestUniformRandom:
+    def test_flat_degrees(self):
+        g = uniform_random(100, 8, seed=1)
+        assert set(g.degrees.tolist()) == {8}

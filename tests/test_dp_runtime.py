@@ -1,0 +1,193 @@
+"""Consolidation-buffer runtime and global-barrier tests (via __dp_*
+intrinsics exercised from MiniCUDA kernels)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.device import Device
+
+from tests.helpers import run_kernel
+
+
+class TestBuffers:
+    def test_push_and_drain_roundtrip(self):
+        src = """
+        __global__ void producer(int* out, int n) {
+            int t = threadIdx.x;
+            int h = __dp_buf_acquire(1, 64, 1);
+            if (t < n) {
+                __dp_buf_push1(h, t * 7);
+            }
+            __syncthreads();
+            if (t == 0) {
+                int count = __dp_buf_size(h);
+                out[0] = count;
+                for (int i = 0; i < count; i++) {
+                    out[1 + i] = __dp_buf_get(h, i, 0);
+                }
+            }
+        }
+        """
+        _, _, h = run_kernel(src, "producer", 1, 32,
+                             {"out": np.zeros(40, np.int32)}, scalars=(5,))
+        assert h["out"].data[0] == 5
+        assert sorted(h["out"].data[1:6]) == [0, 7, 14, 21, 28]
+
+    def test_multi_field_push(self):
+        src = """
+        __global__ void k(int* out) {
+            int h = __dp_buf_acquire(1, 16, 3);
+            __dp_buf_push3(h, 10, 20, 30);
+            out[0] = __dp_buf_get(h, 0, 0);
+            out[1] = __dp_buf_get(h, 0, 1);
+            out[2] = __dp_buf_get(h, 0, 2);
+        }
+        """
+        _, _, h = run_kernel(src, "k", 1, 1, {"out": np.zeros(4, np.int32)})
+        assert list(h["out"].data[:3]) == [10, 20, 30]
+
+    def test_scope_warp_vs_block(self):
+        # warp-scope: two warps get different buffers; block-scope: shared
+        src = """
+        __global__ void k(int* out, int gran) {
+            int t = threadIdx.x;
+            int h = __dp_buf_acquire(gran, 128, 1);
+            __dp_buf_push1(h, t);
+            __syncthreads();
+            if (t == 0) { out[0] = __dp_buf_size(h); }
+        }
+        """
+        _, _, h = run_kernel(src, "k", 1, 64, {"out": np.zeros(2, np.int32)},
+                             scalars=(0,))
+        assert h["out"].data[0] == 32  # warp scope: only warp 0's buffer
+        _, _, h = run_kernel(src, "k", 1, 64, {"out": np.zeros(2, np.int32)},
+                             scalars=(1,))
+        assert h["out"].data[0] == 64  # block scope: all threads
+
+    def test_grid_scope_spans_blocks(self):
+        src = """
+        __global__ void k(int* out) {
+            int h = __dp_buf_acquire(2, 512, 1);
+            __dp_buf_push1(h, 1);
+            __syncthreads();
+            if (threadIdx.x == 0) {
+                if (__dp_grid_arrive_last()) {
+                    out[0] = __dp_buf_size(h);
+                }
+            }
+        }
+        """
+        _, _, h = run_kernel(src, "k", 4, 32, {"out": np.zeros(2, np.int32)})
+        assert h["out"].data[0] == 128
+
+    def test_buffer_grows_on_overflow(self):
+        src = """
+        __global__ void k(int* out, int n) {
+            int h = __dp_buf_acquire(1, 2, 1);
+            for (int i = 0; i < n; i++) {
+                __dp_buf_push1(h, i);
+            }
+            out[0] = __dp_buf_size(h);
+            out[1] = __dp_buf_get(h, n - 1, 0);
+        }
+        """
+        _, m, h = run_kernel(src, "k", 1, 1, {"out": np.zeros(2, np.int32)},
+                             scalars=(40,))
+        assert h["out"].data[0] == 40
+        assert h["out"].data[1] == 39
+        assert m.buffer_grows >= 1
+
+    def test_buffer_reset(self):
+        src = """
+        __global__ void k(int* out) {
+            int h = __dp_buf_acquire(1, 8, 1);
+            __dp_buf_push1(h, 5);
+            __dp_buf_reset(h);
+            out[0] = __dp_buf_size(h);
+        }
+        """
+        _, _, h = run_kernel(src, "k", 1, 1, {"out": np.zeros(1, np.int32)})
+        assert h["out"].data[0] == 0
+
+    def test_invalid_handle_raises(self):
+        src = """__global__ void k(int* out) { out[0] = __dp_buf_size(12345); }"""
+        dev = Device()
+        prog = dev.load(src)
+        out = dev.from_numpy("out", np.zeros(1, np.int32))
+        with pytest.raises(SimulationError):
+            prog.launch("k", 1, 1, out)
+
+    def test_out_of_range_get_raises(self):
+        src = """__global__ void k(int* out) {
+            int h = __dp_buf_acquire(1, 8, 1);
+            out[0] = __dp_buf_get(h, 3, 0);
+        }"""
+        dev = Device()
+        prog = dev.load(src)
+        out = dev.from_numpy("out", np.zeros(1, np.int32))
+        with pytest.raises(SimulationError):
+            prog.launch("k", 1, 1, out)
+
+    def test_allocator_charged_per_buffer(self):
+        src = """
+        __global__ void k(int* out) {
+            int h = __dp_buf_acquire(0, 32, 1);
+            __dp_buf_push1(h, threadIdx.x);
+        }
+        """
+        dev = Device(allocator="default")
+        prog = dev.load(src)
+        out = dev.from_numpy("out", np.zeros(1, np.int32))
+        prog.launch("k", 1, 128, out)  # 4 warps -> 4 warp-scope buffers
+        m = dev.synchronize()
+        assert m.allocator_allocs == 4
+        assert m.allocator_kind == "default"
+
+    def test_fresh_buffers_per_kernel_instance(self):
+        src = """
+        __global__ void k(int* out, int slot) {
+            int h = __dp_buf_acquire(1, 8, 1);
+            __dp_buf_push1(h, 1);
+            out[slot] = __dp_buf_size(h);
+        }
+        """
+        dev = Device()
+        prog = dev.load(src)
+        out = dev.from_numpy("out", np.zeros(2, np.int32))
+        prog.launch("k", 1, 1, out, 0)
+        prog.launch("k", 1, 1, out, 1)
+        dev.synchronize()
+        assert list(out.data) == [1, 1]  # second launch got a new buffer
+
+
+class TestGridBarrier:
+    def test_exactly_one_last_block(self):
+        src = """
+        __global__ void k(int* out) {
+            if (threadIdx.x == 0) {
+                if (__dp_grid_arrive_last()) {
+                    atomicAdd(&out[0], 1);
+                }
+            }
+        }
+        """
+        _, _, h = run_kernel(src, "k", 8, 32, {"out": np.zeros(1, np.int32)})
+        assert h["out"].data[0] == 1
+
+    def test_last_block_sees_all_prior_work(self):
+        src = """
+        __global__ void k(int* out, int n) {
+            int u = blockIdx.x * blockDim.x + threadIdx.x;
+            atomicAdd(&out[1], 1);
+            __syncthreads();
+            if (threadIdx.x == 0) {
+                if (__dp_grid_arrive_last()) {
+                    out[0] = out[1];
+                }
+            }
+        }
+        """
+        _, _, h = run_kernel(src, "k", 4, 16, {"out": np.zeros(2, np.int32)},
+                             scalars=(64,))
+        assert h["out"].data[0] == 64

@@ -1,0 +1,72 @@
+"""Error-hierarchy and diagnostic-rendering tests."""
+
+import pytest
+
+from repro.errors import (
+    AllocationError,
+    CodegenError,
+    LaunchError,
+    LexError,
+    ParseError,
+    PragmaError,
+    ReproError,
+    SimulationError,
+    SourceError,
+    TransformError,
+    TypeCheckError,
+)
+from repro.frontend.source import SourceFile, SourceLocation
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (LexError, ParseError, PragmaError, TypeCheckError,
+                    TransformError, CodegenError, SimulationError,
+                    LaunchError, AllocationError):
+            assert issubclass(exc, ReproError)
+
+    def test_frontend_errors_are_source_errors(self):
+        for exc in (LexError, ParseError, PragmaError, TypeCheckError,
+                    TransformError, CodegenError):
+            assert issubclass(exc, SourceError)
+
+    def test_sim_errors_are_not_source_errors(self):
+        assert not issubclass(SimulationError, SourceError)
+
+    def test_catching_the_family(self):
+        with pytest.raises(ReproError):
+            raise TransformError("nope")
+
+
+class TestRendering:
+    def test_location_prefix(self):
+        loc = SourceLocation("kernel.cu", 12, 5)
+        err = ParseError("unexpected token", loc)
+        assert str(err) == "kernel.cu:12:5: unexpected token"
+
+    def test_no_location(self):
+        assert str(TransformError("plain message")) == "plain message"
+
+    def test_attributes_preserved(self):
+        loc = SourceLocation("x.cu", 1, 1)
+        err = TypeCheckError("msg", loc)
+        assert err.message == "msg" and err.loc is loc
+
+
+class TestSourceFile:
+    def test_location_mapping(self):
+        sf = SourceFile("ab\ncde\nf", "t.cu")
+        assert (sf.location(0).line, sf.location(0).col) == (1, 1)
+        assert (sf.location(3).line, sf.location(3).col) == (2, 1)
+        assert (sf.location(5).line, sf.location(5).col) == (2, 3)
+        assert (sf.location(7).line, sf.location(7).col) == (3, 1)
+
+    def test_offset_clamped(self):
+        sf = SourceFile("abc", "t.cu")
+        assert sf.location(999).line == 1
+
+    def test_line_text(self):
+        sf = SourceFile("first\nsecond\n", "t.cu")
+        assert sf.line_text(1) == "first"
+        assert sf.line_text(2) == "second"
+        assert sf.line_text(99) == ""

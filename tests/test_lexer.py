@@ -1,0 +1,147 @@
+"""Lexer unit + property tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import LexError
+from repro.frontend.lexer import tokenize
+from repro.frontend.tokens import TokKind
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)[:-1]]
+
+
+def texts(text):
+    return [t.text for t in tokenize(text)[:-1]]
+
+
+class TestBasicTokens:
+    def test_empty_input_yields_eof(self):
+        toks = tokenize("")
+        assert len(toks) == 1 and toks[0].kind is TokKind.EOF
+
+    def test_identifier(self):
+        (tok,) = tokenize("foo_bar42")[:-1]
+        assert tok.kind is TokKind.IDENT and tok.text == "foo_bar42"
+
+    def test_keywords_are_not_identifiers(self):
+        assert kinds("int") == [TokKind.KEYWORD]
+        assert kinds("interior") == [TokKind.IDENT]
+
+    def test_cuda_qualifiers_are_keywords(self):
+        assert kinds("__global__ __device__ __shared__") == [TokKind.KEYWORD] * 3
+
+    def test_integer_literals(self):
+        assert texts("0 42 100000") == ["0", "42", "100000"]
+        assert all(k is TokKind.INT for k in kinds("0 42 100000"))
+
+    def test_hex_literal(self):
+        (tok,) = tokenize("0xFF")[:-1]
+        assert tok.kind is TokKind.INT and tok.text == "0xFF"
+
+    def test_malformed_hex_raises(self):
+        with pytest.raises(LexError):
+            tokenize("0x")
+
+    def test_float_literals(self):
+        assert all(k is TokKind.FLOAT for k in kinds("1.5 0.25f 1e9 2.5e-3"))
+
+    def test_integer_suffixes(self):
+        assert kinds("42u 42UL") == [TokKind.INT, TokKind.INT]
+
+    def test_float_suffix_forces_float(self):
+        assert kinds("42f") == [TokKind.FLOAT]
+
+    def test_string_literal(self):
+        (tok,) = tokenize('"hello world"')[:-1]
+        assert tok.kind is TokKind.STRING and tok.text == "hello world"
+
+    def test_string_escapes(self):
+        (tok,) = tokenize(r'"a\nb\"c"')[:-1]
+        assert tok.text == 'a\nb"c'
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(LexError):
+            tokenize('"oops')
+
+    def test_char_literal(self):
+        (tok,) = tokenize("'x'")[:-1]
+        assert tok.kind is TokKind.CHAR and tok.text == "x"
+
+
+class TestPunctuators:
+    def test_launch_chevrons(self):
+        assert texts("k<<<1, 2>>>()") == ["k", "<<<", "1", ",", "2", ">>>",
+                                          "(", ")"]
+
+    def test_maximal_munch(self):
+        assert texts("a<<=b") == ["a", "<<=", "b"]
+        assert texts("a<<b") == ["a", "<<", "b"]
+        assert texts("a<b") == ["a", "<", "b"]
+
+    def test_increment_vs_plus(self):
+        assert texts("a+++b") == ["a", "++", "+", "b"]
+
+    def test_arrow(self):
+        assert texts("p->x") == ["p", "->", "x"]
+
+    def test_unknown_character_raises(self):
+        with pytest.raises(LexError):
+            tokenize("a @ b")
+
+
+class TestCommentsAndPragmas:
+    def test_line_comment_skipped(self):
+        assert texts("a // comment\n b") == ["a", "b"]
+
+    def test_block_comment_skipped(self):
+        assert texts("a /* x\ny */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(LexError):
+            tokenize("/* oops")
+
+    def test_pragma_token_carries_payload(self):
+        toks = tokenize("#pragma dp consldt(warp) work(u)\nint a;")
+        assert toks[0].kind is TokKind.PRAGMA
+        assert toks[0].text == "dp consldt(warp) work(u)"
+
+    def test_include_is_ignored(self):
+        assert texts('#include <stdio.h>\nint a;') == ["int", "a", ";"]
+
+    def test_define_is_ignored(self):
+        assert texts("#define N 5\nint a;") == ["int", "a", ";"]
+
+    def test_unknown_preprocessor_raises(self):
+        with pytest.raises(LexError):
+            tokenize("#if 0")
+
+    def test_locations_are_tracked(self):
+        toks = tokenize("a\n  b")
+        assert (toks[0].loc.line, toks[0].loc.col) == (1, 1)
+        assert (toks[1].loc.line, toks[1].loc.col) == (2, 3)
+
+
+_ident = st.from_regex(r"[a-zA-Z_][a-zA-Z_0-9]{0,10}", fullmatch=True)
+
+
+class TestProperties:
+    @given(st.lists(_ident, min_size=1, max_size=8))
+    def test_identifier_roundtrip(self, names):
+        text = " ".join(names)
+        toks = tokenize(text)[:-1]
+        assert [t.text for t in toks] == names
+
+    @given(st.lists(st.integers(min_value=0, max_value=2**31 - 1),
+                    min_size=1, max_size=8))
+    def test_int_literal_roundtrip(self, values):
+        text = " ".join(str(v) for v in values)
+        toks = tokenize(text)[:-1]
+        assert [int(t.text) for t in toks] == values
+        assert all(t.kind is TokKind.INT for t in toks)
+
+    @given(st.text(alphabet=" \t\n", max_size=20))
+    def test_whitespace_only_is_eof(self, ws):
+        toks = tokenize(ws)
+        assert len(toks) == 1 and toks[0].kind is TokKind.EOF

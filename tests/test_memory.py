@@ -1,0 +1,94 @@
+"""GlobalMemory / DeviceArray tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AllocationError, SimulationError
+from repro.sim.memory import DeviceArray, GlobalMemory
+
+
+@pytest.fixture
+def mem():
+    return GlobalMemory(total_bytes=1 << 20, heap_bytes=1 << 16)
+
+
+class TestAllocation:
+    def test_alloc_returns_aligned_disjoint_regions(self, mem):
+        a = mem.alloc_array("a", "i4", 100)
+        b = mem.alloc_array("b", "i4", 100)
+        assert a.base_addr % GlobalMemory.ALIGN == 0
+        assert b.base_addr >= a.base_addr + 400
+
+    def test_from_numpy_copies(self, mem):
+        host = np.arange(10, dtype=np.int32)
+        arr = mem.from_numpy("x", host)
+        host[0] = 99
+        assert arr.load(0) == 0
+
+    def test_to_numpy_copies(self, mem):
+        arr = mem.from_numpy("x", np.arange(4, dtype=np.int32))
+        out = arr.to_numpy()
+        out[0] = 99
+        assert arr.load(0) == 0
+
+    def test_out_of_memory(self):
+        small = GlobalMemory(total_bytes=4096, heap_bytes=1024)
+        with pytest.raises(AllocationError):
+            small.alloc_array("big", "i4", 10_000)
+
+    def test_dtypes(self, mem):
+        for code, npdt in (("i4", np.int32), ("f4", np.float32),
+                           ("f8", np.float64), ("i8", np.int64)):
+            arr = mem.alloc_array(f"x{code}", code, 4)
+            assert arr.data.dtype == npdt
+
+    def test_rejects_2d(self, mem):
+        with pytest.raises(AllocationError):
+            mem.from_numpy("m", np.zeros((2, 2), dtype=np.int32))
+
+    def test_heap_binding_respects_region(self, mem):
+        arr = mem.bind_heap_array("buf", "i8", 8, mem.heap_base)
+        assert arr.base_addr == mem.heap_base
+        with pytest.raises(AllocationError):
+            mem.bind_heap_array("bad", "i8", 8, mem.BASE)  # not in heap
+
+
+class TestDeviceArray:
+    def test_load_store(self, mem):
+        arr = mem.alloc_array("a", "i4", 8)
+        arr.store(3, 42)
+        assert arr.load(3) == 42
+
+    def test_bounds_checked(self, mem):
+        arr = mem.alloc_array("a", "i4", 8)
+        with pytest.raises(SimulationError):
+            arr.load(8)
+        with pytest.raises(SimulationError):
+            arr.store(-1, 0)
+
+    def test_view_pointer_arithmetic(self, mem):
+        arr = mem.from_numpy("a", np.arange(10, dtype=np.int32))
+        v = arr.view(4)
+        assert v.load(0) == 4
+        assert v.view(2).load(0) == 6
+        v.store(1, 99)
+        assert arr.load(5) == 99
+
+    def test_view_zero_is_identity(self, mem):
+        arr = mem.alloc_array("a", "i4", 4)
+        assert arr.view(0) is arr
+
+    def test_addresses_follow_views(self, mem):
+        arr = mem.alloc_array("a", "i4", 8)
+        assert arr.view(2).addr_of(1) == arr.addr_of(3)
+
+    def test_view_bounds_still_checked(self, mem):
+        arr = mem.alloc_array("a", "i4", 8)
+        v = arr.view(6)
+        with pytest.raises(SimulationError):
+            v.load(2)
+
+    def test_int_overflow_wraps_like_int32(self, mem):
+        arr = mem.alloc_array("a", "i4", 1)
+        arr.store(0, 2**31 + 5)  # wraps to negative, like CUDA int
+        assert arr.load(0) == -(2**31) + 5

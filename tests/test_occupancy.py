@@ -1,0 +1,115 @@
+"""Occupancy calculator and KC_X configuration tests (§IV.E)."""
+
+import pytest
+
+from repro.sim.occupancy import (
+    DEFAULT_BLOCK_THREADS,
+    KC_FOR_GRANULARITY,
+    LaunchConfig,
+    blocks_per_sm,
+    exhaustive_candidates,
+    kc_config,
+    occupancy_config,
+    theoretical_occupancy,
+)
+from repro.sim.specs import K20C, TINY
+
+
+class TestBlocksPerSM:
+    def test_256_threads_on_k20c(self):
+        # 2048 threads/SM / 256 = 8 blocks; 64 warps / 8 warps = 8 blocks
+        assert blocks_per_sm(K20C, 256) == 8
+
+    def test_tiny_blocks_hit_block_limit(self):
+        # 32-thread blocks: thread limit allows 64, but block limit is 16
+        assert blocks_per_sm(K20C, 32) == 16
+
+    def test_max_block(self):
+        assert blocks_per_sm(K20C, 1024) == 2
+
+    def test_oversized_block(self):
+        assert blocks_per_sm(K20C, 2048) == 0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            blocks_per_sm(K20C, 0)
+
+
+class TestOccupancyConfig:
+    def test_full_device_config(self):
+        blocks, threads = occupancy_config(K20C, 256)
+        assert (blocks, threads) == (8 * 13, 256)
+
+    def test_full_occupancy_at_256(self):
+        assert theoretical_occupancy(K20C, 256) == 1.0
+
+    def test_small_blocks_cap_occupancy(self):
+        # 16 blocks x 1 warp = 16 warps of 64 slots
+        assert theoretical_occupancy(K20C, 32) == pytest.approx(16 / 64)
+
+    def test_oversized_raises(self):
+        with pytest.raises(ValueError):
+            occupancy_config(K20C, 4096)
+
+
+class TestKCConfig:
+    def test_kc1_is_full_config(self):
+        assert kc_config(K20C, 1) == occupancy_config(K20C)
+
+    def test_kc16_divides_blocks(self):
+        full, t = occupancy_config(K20C)
+        b16, _ = kc_config(K20C, 16)
+        assert b16 == max(1, full // 16) == 6
+
+    def test_kc32(self):
+        assert kc_config(K20C, 32)[0] == 3
+
+    def test_kc_never_zero_blocks(self):
+        assert kc_config(K20C, 10_000)[0] == 1
+
+    def test_invalid_concurrency(self):
+        with pytest.raises(ValueError):
+            kc_config(K20C, 0)
+
+    def test_paper_granularity_map(self):
+        assert KC_FOR_GRANULARITY == {"grid": 1, "block": 16, "warp": 32}
+
+
+class TestLaunchConfig:
+    def test_kc_mode_resolution(self):
+        cfg = LaunchConfig(mode="kc")
+        assert cfg.resolve(K20C, "grid") == (104, DEFAULT_BLOCK_THREADS)
+        assert cfg.resolve(K20C, "block") == (6, DEFAULT_BLOCK_THREADS)
+        assert cfg.resolve(K20C, "warp") == (3, DEFAULT_BLOCK_THREADS)
+
+    def test_explicit_mode(self):
+        cfg = LaunchConfig(mode="explicit", blocks=7, threads=64)
+        assert cfg.resolve(K20C, "grid") == (7, 64)
+
+    def test_explicit_requires_blocks(self):
+        with pytest.raises(ValueError):
+            LaunchConfig(mode="explicit").resolve(K20C, "grid")
+
+    def test_one2one_defers_blocks(self):
+        blocks, threads = LaunchConfig(mode="one2one").resolve(K20C, "grid")
+        assert blocks is None
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError):
+            LaunchConfig(mode="magic").resolve(K20C, "grid")
+
+    def test_thread_override(self):
+        cfg = LaunchConfig(mode="kc", threads=128)
+        blocks, threads = cfg.resolve(K20C, "grid")
+        assert threads == 128 and blocks == blocks_per_sm(K20C, 128) * 13
+
+
+class TestExhaustiveCandidates:
+    def test_candidates_are_valid(self):
+        for blocks, threads in exhaustive_candidates(K20C):
+            assert blocks >= 1
+            assert threads <= K20C.max_threads_per_block
+
+    def test_candidate_grid_covers_kc_points(self):
+        cands = set(exhaustive_candidates(K20C))
+        assert (kc_config(K20C, 1)) in cands or len(cands) > 8

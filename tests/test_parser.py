@@ -1,0 +1,250 @@
+"""Parser unit tests."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.frontend.ast_nodes import (
+    Assign,
+    BinOp,
+    Block,
+    BuiltinVar,
+    Call,
+    Cast,
+    DeclStmt,
+    DoWhile,
+    ExprStmt,
+    For,
+    FunctionDef,
+    GlobalDecl,
+    Ident,
+    If,
+    IncDec,
+    Index,
+    IntLit,
+    LaunchExpr,
+    PragmaStmt,
+    Return,
+    Ternary,
+    Type,
+    UnOp,
+    While,
+)
+from repro.frontend.parser import parse
+
+
+def parse_kernel_body(body: str, params: str = "int* a, int n"):
+    mod = parse(f"__global__ void k({params}) {{ {body} }}")
+    return mod.function("k").body.stmts
+
+
+def parse_expr(expr: str):
+    (stmt,) = parse_kernel_body(f"{expr};")
+    assert isinstance(stmt, ExprStmt)
+    return stmt.expr
+
+
+class TestDeclarations:
+    def test_kernel_qualifiers(self):
+        mod = parse("__global__ void k() {}")
+        fn = mod.function("k")
+        assert fn.is_kernel and not fn.is_device_fn
+
+    def test_device_function(self):
+        mod = parse("__device__ int f(int x) { return x; }")
+        fn = mod.function("f")
+        assert fn.is_device_fn and fn.ret_type == Type("int")
+
+    def test_params_with_pointers(self):
+        mod = parse("__global__ void k(int* a, float* b, int n) {}")
+        types = [p.type for p in mod.function("k").params]
+        assert types == [Type("int", 1), Type("float", 1), Type("int")]
+
+    def test_unsigned_int(self):
+        mod = parse("__global__ void k(unsigned int x, unsigned y) {}")
+        types = [p.type for p in mod.function("k").params]
+        assert types == [Type("uint"), Type("uint")]
+
+    def test_global_device_variable(self):
+        mod = parse("__device__ int counter = 0;\n__global__ void k() {}")
+        decl = mod.decls[0]
+        assert isinstance(decl, GlobalDecl) and decl.name == "counter"
+
+    def test_multi_declarator(self):
+        (stmt,) = parse_kernel_body("int x = 1, y = 2;")
+        assert isinstance(stmt, DeclStmt)
+        assert [d.name for d in stmt.declarators] == ["x", "y"]
+
+    def test_local_array(self):
+        (stmt,) = parse_kernel_body("int buf[32];")
+        assert stmt.declarators[0].array_size == IntLit(32)
+
+    def test_shared_declaration(self):
+        (stmt,) = parse_kernel_body("__shared__ int tile[64];")
+        assert stmt.shared
+
+    def test_const_declaration(self):
+        (stmt,) = parse_kernel_body("const int x = 5;")
+        assert stmt.const
+
+
+class TestStatements:
+    def test_if_else(self):
+        (stmt,) = parse_kernel_body("if (n > 0) { a[0] = 1; } else a[0] = 2;")
+        assert isinstance(stmt, If) and stmt.els is not None
+
+    def test_while(self):
+        (stmt,) = parse_kernel_body("while (n) { n = n - 1; }")
+        assert isinstance(stmt, While)
+
+    def test_do_while(self):
+        (stmt,) = parse_kernel_body("do { n = n - 1; } while (n);")
+        assert isinstance(stmt, DoWhile)
+
+    def test_for_with_decl(self):
+        (stmt,) = parse_kernel_body("for (int i = 0; i < n; i++) a[i] = i;")
+        assert isinstance(stmt, For)
+        assert isinstance(stmt.init, DeclStmt)
+        assert isinstance(stmt.step, IncDec)
+
+    def test_for_headless(self):
+        (stmt,) = parse_kernel_body("for (;;) break;")
+        assert stmt.init is None and stmt.cond is None and stmt.step is None
+
+    def test_return_void(self):
+        (stmt,) = parse_kernel_body("return;")
+        assert isinstance(stmt, Return) and stmt.value is None
+
+    def test_nested_blocks(self):
+        (stmt,) = parse_kernel_body("{ { a[0] = 1; } }")
+        assert isinstance(stmt, Block)
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        e = parse_expr("n + n * n")
+        assert isinstance(e, BinOp) and e.op == "+"
+        assert isinstance(e.right, BinOp) and e.right.op == "*"
+
+    def test_precedence_relational_over_logic(self):
+        e = parse_expr("n < 1 && n > 2")
+        assert e.op == "&&" and e.left.op == "<" and e.right.op == ">"
+
+    def test_parentheses(self):
+        e = parse_expr("(n + 1) * 2")
+        assert e.op == "*" and isinstance(e.left, BinOp)
+
+    def test_assignment_right_associative(self):
+        mod_body = parse_kernel_body("int x; int y; x = y = n;")
+        assign = mod_body[2].expr
+        assert isinstance(assign.value, Assign)
+
+    def test_compound_assignment(self):
+        e = parse_expr("n += 2")
+        assert isinstance(e, Assign) and e.op == "+="
+
+    def test_ternary(self):
+        e = parse_expr("n > 0 ? 1 : 2")
+        assert isinstance(e, Ternary)
+
+    def test_unary_minus_binds_tighter_than_mul(self):
+        e = parse_expr("-n * 2")
+        assert e.op == "*" and isinstance(e.left, UnOp)
+
+    def test_address_of_index(self):
+        e = parse_expr("atomicAdd(&a[0], 1)")
+        assert isinstance(e, Call)
+        arg = e.args[0]
+        assert isinstance(arg, UnOp) and arg.op == "&"
+        assert isinstance(arg.operand, Index)
+
+    def test_builtin_vars(self):
+        e = parse_expr("blockIdx.x * blockDim.x + threadIdx.x")
+        assert any(isinstance(n, BuiltinVar) for n in [e.right])
+
+    def test_builtin_var_bad_dim(self):
+        with pytest.raises(ParseError):
+            parse_expr("threadIdx.w")
+
+    def test_cast(self):
+        e = parse_expr("(float)n")
+        assert isinstance(e, Cast) and e.type == Type("float")
+
+    def test_sizeof_folds_to_int(self):
+        e = parse_expr("sizeof(int)")
+        assert e == IntLit(4)
+
+    def test_indexing_chains(self):
+        e = parse_expr("a[a[n]]")
+        assert isinstance(e, Index) and isinstance(e.index, Index)
+
+    def test_postfix_increment(self):
+        (s1, s2) = parse_kernel_body("int i = 0; i++;")
+        assert isinstance(s2.expr, IncDec) and not s2.expr.prefix
+
+
+class TestLaunches:
+    def test_basic_launch(self):
+        stmts = parse_kernel_body("k<<<1, 32>>>(a, n);")
+        launch = stmts[0].expr
+        assert isinstance(launch, LaunchExpr)
+        assert launch.callee == "k"
+        assert launch.grid == IntLit(1) and launch.block == IntLit(32)
+        assert len(launch.args) == 2
+
+    def test_launch_with_expressions(self):
+        stmts = parse_kernel_body("k<<<(n + 127) / 128, 128>>>(a, n);")
+        launch = stmts[0].expr
+        assert isinstance(launch.grid, BinOp)
+
+    def test_launch_with_shared_and_stream(self):
+        stmts = parse_kernel_body("k<<<1, 32, 0, 0>>>(a, n);")
+        launch = stmts[0].expr
+        assert launch.shared == IntLit(0) and launch.stream == IntLit(0)
+
+    def test_launch_ternary_config(self):
+        stmts = parse_kernel_body("k<<<n < 4 ? n : 4, 32>>>(a, n);")
+        assert isinstance(stmts[0].expr.grid, Ternary)
+
+
+class TestPragmaAttachment:
+    SRC = """
+    __global__ void child(int* a, int u) { a[u] = 1; }
+    __global__ void parent(int* a, int n) {
+        int u = threadIdx.x;
+        #pragma dp consldt(block) work(u)
+        if (u < n) {
+            child<<<1, 1>>>(a, u);
+        }
+    }
+    """
+
+    def test_pragma_wraps_following_statement(self):
+        mod = parse(self.SRC)
+        stmts = mod.function("parent").body.stmts
+        assert isinstance(stmts[1], PragmaStmt)
+        assert isinstance(stmts[1].stmt, If)
+        assert stmts[1].directive.granularity == "block"
+
+    def test_foreign_pragma_ignored(self):
+        mod = parse("__global__ void k() {\n#pragma unroll\nint x = 1;\n}")
+        stmts = mod.function("k").body.stmts
+        assert isinstance(stmts[0], DeclStmt)
+
+
+class TestErrors:
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse("__global__ void k() { int x = 1 }")
+
+    def test_unbalanced_braces(self):
+        with pytest.raises(ParseError):
+            parse("__global__ void k() { if (1) {")
+
+    def test_bad_toplevel(self):
+        with pytest.raises(ParseError):
+            parse("42;")
+
+    def test_error_has_location(self):
+        with pytest.raises(ParseError) as exc:
+            parse("__global__ void k() {\n  int x = ;\n}")
+        assert ":2:" in str(exc.value)

@@ -1,0 +1,97 @@
+"""Tests for the Table I directive grammar."""
+
+import pytest
+
+from repro.errors import PragmaError
+from repro.frontend.pragma import (
+    DEFAULT_TOTAL_SIZE,
+    DpDirective,
+    parse_dp_pragma,
+)
+
+
+def parse(payload):
+    return parse_dp_pragma(payload)
+
+
+class TestParsing:
+    def test_minimal(self):
+        d = parse("dp consldt(warp) work(u)")
+        assert d.granularity == "warp"
+        assert d.work == ("u",)
+        assert d.buffer_type == "custom"  # default
+        assert d.total_size == DEFAULT_TOTAL_SIZE
+
+    def test_all_granularities(self):
+        for g in ("warp", "block", "grid"):
+            assert parse(f"dp consldt({g}) work(x)").granularity == g
+
+    def test_work_list(self):
+        d = parse("dp consldt(block) work(u, du, deg)")
+        assert d.work == ("u", "du", "deg")
+
+    def test_buffer_type(self):
+        for t in ("default", "halloc", "custom"):
+            d = parse(f"dp consldt(grid) buffer(type: {t}) work(u)")
+            assert d.buffer_type == t
+
+    def test_per_buffer_size_int(self):
+        d = parse("dp consldt(block) buffer(type: custom, perBufferSize: 256) work(u)")
+        assert d.per_buffer_size == 256
+
+    def test_per_buffer_size_variable(self):
+        d = parse("dp consldt(block) buffer(type: custom, perBufferSize: nchildren) work(u)")
+        assert d.per_buffer_size == "nchildren"
+
+    def test_total_size(self):
+        d = parse("dp consldt(grid) buffer(type: custom, totalSize: 1048576) work(u)")
+        assert d.total_size == 1048576
+
+    def test_threads_blocks(self):
+        d = parse("dp consldt(grid) work(u) threads(128) blocks(26)")
+        assert d.threads == 128 and d.blocks == 26
+
+    def test_clause_order_free(self):
+        d = parse("dp work(u) threads(64) consldt(warp)")
+        assert d.granularity == "warp" and d.threads == 64
+
+    def test_non_dp_pragma_returns_none(self):
+        assert parse("unroll 4") is None
+        assert parse("once") is None
+
+
+class TestErrors:
+    @pytest.mark.parametrize("payload", [
+        "dp work(u)",                         # missing consldt
+        "dp consldt(block)",                  # missing work
+        "dp consldt(device) work(u)",         # bad granularity
+        "dp consldt(block) work()",           # empty work
+        "dp consldt(block) work(u) work(v)",  # duplicate clause
+        "dp consldt(block) buffer(type: arena) work(u)",  # bad buffer type
+        "dp consldt(block) buffer(totalSize: big) work(u)",  # non-int size
+        "dp consldt(block) work(u) threads(many)",  # non-int threads
+        "dp consldt(block) work(u) frobnicate(1)",  # unknown clause
+        "dp consldt(block work(u)",           # unterminated clause
+        "dp consldt(block) work(u+1)",        # non-identifier work entry
+    ])
+    def test_malformed(self, payload):
+        with pytest.raises(PragmaError):
+            parse(payload)
+
+    def test_bad_character(self):
+        with pytest.raises(PragmaError):
+            parse("dp consldt(block) work(u) $$$")
+
+
+class TestDescribe:
+    def test_describe_round_trips_through_parser(self):
+        d = parse("dp consldt(grid) buffer(type: halloc, perBufferSize: 99) "
+                  "work(a, b) threads(64) blocks(13)")
+        d2 = parse(d.describe())
+        assert d == d2
+
+    def test_describe_mentions_all_clauses(self):
+        d = parse("dp consldt(warp) work(u) threads(32)")
+        text = d.describe()
+        assert "consldt(warp)" in text and "work(u)" in text
+        assert "threads(32)" in text

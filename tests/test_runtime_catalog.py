@@ -1,0 +1,53 @@
+"""Cross-checks between the device-library catalogue, the frontend's
+builtin registrations and the runtime's intrinsic dispatcher."""
+
+import pytest
+
+from repro.frontend.symbols import BUILTIN_FUNCTIONS
+from repro.runtime import DEVICE_LIBRARY, render_reference
+from repro.sim.dp import DPRuntime
+
+
+class TestCatalogue:
+    def test_every_catalogued_intrinsic_is_registered(self):
+        names = set(BUILTIN_FUNCTIONS)
+        for doc in DEVICE_LIBRARY:
+            base = doc.name.split("..")[0].split(" /")[0]
+            if base.endswith("push1"):
+                for k in (1, 2, 3, 4):
+                    assert f"__dp_buf_push{k}" in names
+            else:
+                assert base in names, base
+
+    def test_every_registered_dp_builtin_is_catalogued(self):
+        catalogued = set()
+        for doc in DEVICE_LIBRARY:
+            if "push" in doc.name:
+                catalogued.update(f"__dp_buf_push{k}" for k in range(1, 5))
+            else:
+                for part in doc.name.split(" / "):
+                    catalogued.add(part.strip())
+        registered = {n for n in BUILTIN_FUNCTIONS if n.startswith("__dp_")}
+        # __dp_buf_child is a reserved forward-compat hook
+        registered.discard("__dp_buf_child")
+        assert registered <= catalogued | {"__dp_lane", "__dp_warp_id"}
+
+    def test_reference_renders_all(self):
+        text = render_reference()
+        for doc in DEVICE_LIBRARY:
+            assert doc.signature.splitlines()[0] in text
+
+    def test_dispatcher_rejects_unknown(self):
+        from repro.errors import SimulationError
+        from repro.sim.cache import MemorySystem
+        from repro.sim.memory import GlobalMemory
+        from repro.sim.specs import CostModel, TINY
+        from repro.alloc import make_allocator
+
+        mem = GlobalMemory(TINY.global_mem_bytes, 1 << 20)
+        cost = CostModel()
+        memsys = MemorySystem(TINY, cost)
+        alloc = make_allocator("custom", mem.heap_base, 1 << 20, cost)
+        rt = DPRuntime(TINY, cost, mem, memsys, alloc)
+        with pytest.raises(SimulationError):
+            rt.handle_intrinsic("frobnicate", (), None, None)

@@ -1,0 +1,71 @@
+"""Timeline capture/rendering tests."""
+
+import numpy as np
+
+from repro.sim.device import Device
+from repro.sim.timeline import device_timeline, render_gantt
+
+SRC = """
+__global__ void child(int* out, int i) { atomicAdd(&out[i % 8], 1); }
+__global__ void parent(int* out, int n) {
+    if (threadIdx.x == 0) {
+        for (int i = 0; i < n; i++) {
+            child<<<1, 32>>>(out, i);
+        }
+    }
+}
+"""
+
+
+def make_run(n=6):
+    dev = Device()
+    prog = dev.load(SRC)
+    out = dev.from_numpy("out", np.zeros(8, np.int32))
+    prog.launch("parent", 1, 32, out, n)
+    dev.synchronize()
+    return dev
+
+
+class TestTimeline:
+    def test_span_per_instance(self):
+        dev = make_run(6)
+        tl = device_timeline(dev)
+        assert len(tl.spans) == 7  # parent + 6 children
+
+    def test_children_marked_device_launched(self):
+        tl = device_timeline(make_run(3))
+        child_spans = [s for s in tl.spans if s.name == "child"]
+        assert all(s.from_device and s.depth == 1 for s in child_spans)
+
+    def test_completion_ordering(self):
+        tl = device_timeline(make_run(4))
+        parent = next(s for s in tl.spans if s.name == "parent")
+        for s in tl.spans:
+            assert s.completion <= parent.completion + 1e-9
+
+    def test_spans_within_makespan(self):
+        tl = device_timeline(make_run(5))
+        for s in tl.spans:
+            assert 0 <= s.start <= s.completion <= tl.makespan + 1e-9
+
+    def test_summary_renders(self):
+        tl = device_timeline(make_run(4))
+        text = tl.summary()
+        assert "parent" in text and "child" in text and "x4" in text
+
+    def test_gantt_renders(self):
+        tl = device_timeline(make_run(6))
+        chart = render_gantt(tl, width=40)
+        lines = chart.splitlines()
+        assert len(lines) == 7
+        assert all("#" in line for line in lines)
+
+    def test_gantt_sampling(self):
+        tl = device_timeline(make_run(100))
+        chart = render_gantt(tl, width=40, max_rows=10)
+        assert "instances total" in chart
+
+    def test_empty_timeline(self):
+        from repro.sim.timeline import Timeline
+
+        assert render_gantt(Timeline(makespan=0)) == "(empty timeline)"

@@ -1,0 +1,140 @@
+"""Discrete-event timing model tests.
+
+These exercise the scheduler directly with synthetic traces (no MiniCUDA
+involved) so each structural rule of DESIGN.md §5 is pinned down."""
+
+import pytest
+
+from repro.sim.engine import BlockTrace, KernelInstance, LaunchRecord
+from repro.sim.specs import CostModel, DeviceSpec, TINY
+from repro.sim.timing import DeviceScheduler
+
+
+def make_instance(uid, name="k", grid=1, block_dim=32, cycles=1000,
+                  parent=None, segments=None):
+    inst = KernelInstance(uid=uid, name=name, grid=grid, block_dim=block_dim,
+                          args=(), depth=0 if parent is None else parent.depth + 1,
+                          parent_uid=None if parent is None else parent.uid,
+                          from_device=parent is not None)
+    for bx in range(grid):
+        trace = BlockTrace(block_idx=bx, num_threads=block_dim,
+                           num_warps=(block_dim + 31) // 32)
+        trace.segments = list(segments) if segments else [cycles]
+        inst.blocks.append(trace)
+    if parent is not None:
+        parent.children.append(inst)
+    return inst
+
+
+def schedule(roots, spec=TINY, cost=None):
+    return DeviceScheduler(spec, cost or CostModel()).run(roots)
+
+
+class TestBasics:
+    def test_single_kernel_makespan(self):
+        inst = make_instance(1, cycles=5000)
+        result = schedule([inst])
+        assert result.makespan >= 5000
+        assert result.completion[1] == result.makespan
+
+    def test_host_kernels_serialize(self):
+        a = make_instance(1, cycles=1000)
+        b = make_instance(2, cycles=1000)
+        result = schedule([a, b])
+        assert result.completion[2] > result.completion[1] + 999
+
+    def test_blocks_run_in_parallel_across_sms(self):
+        # TINY: 2 SMs x 4 blocks => 8 blocks fit at once
+        one = make_instance(1, grid=1, cycles=1000)
+        eight = make_instance(2, grid=8, cycles=1000)
+        r1 = schedule([one])
+        r8 = schedule([eight])
+        assert r8.makespan < r1.makespan * 2.2
+
+    def test_more_blocks_than_device_waves(self):
+        # 32 blocks of 32 threads on TINY: SM thread limit (256) allows 8
+        # blocks per SM => 16 resident; two waves needed
+        inst = make_instance(1, grid=32, cycles=1000)
+        result = schedule([inst])
+        assert result.makespan >= 2000
+
+
+class TestChildLaunches:
+    def test_child_completion_gates_parent(self):
+        cost = CostModel()
+        parent = make_instance(1, cycles=100)
+        child = make_instance(2, cycles=5000, parent=parent)
+        parent.blocks[0].launches.append(LaunchRecord(0, 50, child))
+        result = schedule([parent], cost=cost)
+        assert result.completion[1] >= result.completion[2]
+
+    def test_launch_latency_applies(self):
+        cost = CostModel()
+        parent = make_instance(1, cycles=100)
+        child = make_instance(2, cycles=10, parent=parent)
+        parent.blocks[0].launches.append(LaunchRecord(0, 0, child))
+        result = schedule([parent], cost=cost)
+        assert result.completion[2] >= cost.launch_latency_cycles
+
+    def test_dispatch_serialization_queues_many_children(self):
+        cost = CostModel()
+        parent = make_instance(1, cycles=100)
+        n = 20
+        for i in range(n):
+            child = make_instance(2 + i, cycles=10, parent=parent)
+            parent.blocks[0].launches.append(LaunchRecord(0, 0, child))
+        result = schedule([parent], cost=cost)
+        # the last child cannot start before n dispatch slots have passed
+        assert result.makespan >= n * cost.dispatch_serialization_cycles
+
+    def test_concurrency_cap(self):
+        # TINY allows 4 concurrent kernels; 8 children of 1 block each
+        # (all fit on the device spatially) must still run in 2 batches
+        cost = CostModel(dispatch_serialization_cycles=1,
+                         launch_latency_cycles=1)
+        parent = make_instance(1, cycles=10)
+        for i in range(8):
+            child = make_instance(2 + i, cycles=10_000, parent=parent)
+            parent.blocks[0].launches.append(LaunchRecord(0, 0, child))
+        result = schedule([parent], cost=cost)
+        assert result.makespan >= 20_000
+        assert result.avg_active_kernels <= TINY.max_concurrent_kernels + 1
+
+
+class TestPendingPool:
+    def test_virtual_pool_penalty(self):
+        cost = CostModel(dispatch_serialization_cycles=2000,
+                         launch_latency_cycles=1)
+        parent = make_instance(1, cycles=10)
+        # TINY fixed pool = 16; 30 children overflow it while queued
+        for i in range(30):
+            child = make_instance(2 + i, cycles=10, parent=parent)
+            parent.blocks[0].launches.append(LaunchRecord(0, 0, child))
+        result = schedule([parent], cost=cost)
+        assert result.max_pending > TINY.fixed_pool_size
+        assert result.virtual_pool_kernels > 0
+
+
+class TestDeviceSync:
+    def test_devsync_swaps_and_waits(self):
+        cost = CostModel()
+        parent = make_instance(1, segments=[100, 200])
+        child = make_instance(2, cycles=8000, parent=parent)
+        parent.blocks[0].launches.append(LaunchRecord(0, 50, child))
+        result = schedule([parent], cost=cost)
+        assert result.swaps == 1
+        # the parent's second segment runs after the child completes
+        assert result.completion[1] >= result.completion[2] + 200
+
+    def test_occupancy_integrates_resident_warps(self):
+        inst = make_instance(1, grid=8, block_dim=128, cycles=10_000)
+        result = schedule([inst])
+        # 8 blocks x 4 warps = 32 warps resident of TINY's 16 slots ->
+        # capped by what fits; occupancy should be substantial
+        assert 0.2 < result.achieved_occupancy <= 1.0
+
+    def test_tiny_kernels_give_low_occupancy(self):
+        insts = [make_instance(i + 1, grid=1, block_dim=32, cycles=50)
+                 for i in range(4)]
+        result = schedule(insts)
+        assert result.achieved_occupancy < 0.2
