@@ -2,8 +2,15 @@
 
 One session-scoped :class:`ExperimentRunner` memoizes application runs, so
 the Fig. 7/8/9/10 benches profile the same executions — exactly how the
-paper gathered its numbers. Scale with ``REPRO_BENCH_SCALE`` (default 1.0,
-matching EXPERIMENTS.md; ~10 minutes total. Use 0.5 for a quick pass).
+paper gathered its numbers (see EXPERIMENTS.md). Environment knobs:
+
+* ``REPRO_BENCH_SCALE`` — dataset scale (default 1.0, matching
+  EXPERIMENTS.md; ~10 minutes total. Use 0.5 for a quick pass);
+* ``REPRO_BENCH_JOBS`` — prefetch the union of every figure's work plan
+  across N worker processes before the benches start (default 0: each
+  bench executes its own runs serially, preserving per-bench timings);
+* ``REPRO_BENCH_CACHE`` — set to a directory to persist runs in an
+  on-disk result store, making repeated bench sessions warm-start.
 """
 
 from __future__ import annotations
@@ -12,14 +19,20 @@ import os
 
 import pytest
 
-from repro.experiments import ExperimentRunner
+from repro.experiments import ExperimentRunner, FIGURES, ResultStore, figure_plan
 
 SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "0"))
+CACHE = os.environ.get("REPRO_BENCH_CACHE", "")
 
 
 @pytest.fixture(scope="session")
 def runner() -> ExperimentRunner:
-    return ExperimentRunner(scale=SCALE)
+    store = ResultStore(CACHE) if CACHE else None
+    runner = ExperimentRunner(scale=SCALE, store=store)
+    if JOBS > 1:
+        runner.prefetch(figure_plan(FIGURES, runner), jobs=JOBS)
+    return runner
 
 
 def emit(title: str, text: str) -> None:

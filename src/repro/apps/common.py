@@ -120,16 +120,31 @@ class App(abc.ABC):
     def run(self, variant: str, dataset=None, *, scale: float = 1.0,
             allocator: str = "custom", config: Optional[LaunchConfig] = None,
             spec: DeviceSpec = K20C, cost: CostModel = DEFAULT_COST_MODEL,
-            heap_bytes: Optional[int] = None, verify: bool = True) -> AppRun:
-        """Execute one variant on a fresh simulated device and profile it."""
+            heap_bytes: Optional[int] = None, verify: bool = True,
+            threshold: Optional[int] = None) -> AppRun:
+        """Execute one variant on a fresh simulated device and profile it.
+
+        ``threshold`` overrides the app's work-delegation threshold for
+        this run only (the ablation harness sweeps it). The returned
+        :class:`AppRun` is plain picklable data, so the experiment
+        runner can execute runs in worker processes and persist them in
+        its on-disk result store.
+        """
         if dataset is None:
             dataset = self.default_dataset(scale)
-        source, report = self.variant_source(variant, config=config, spec=spec)
-        kwargs = {} if heap_bytes is None else {"heap_bytes": heap_bytes}
-        device = Device(spec=spec, cost=cost, allocator=allocator, **kwargs)
-        program = device.load(source)
-        result = self.host_run(device, program, dataset, variant)
-        metrics = device.synchronize()
+        original_threshold = self.threshold
+        if threshold is not None:
+            self.threshold = threshold
+        try:
+            source, report = self.variant_source(variant, config=config,
+                                                 spec=spec)
+            kwargs = {} if heap_bytes is None else {"heap_bytes": heap_bytes}
+            device = Device(spec=spec, cost=cost, allocator=allocator, **kwargs)
+            program = device.load(source)
+            result = self.host_run(device, program, dataset, variant)
+            metrics = device.synchronize()
+        finally:
+            self.threshold = original_threshold
         checked = False
         if verify:
             if not self.check(result, dataset):

@@ -3,10 +3,19 @@
 ::
 
     repro list                      # benchmarks and figures
-    repro fig7 [--scale 0.5]        # regenerate one figure
-    repro all  [--scale 0.5]        # all figures (shares runs)
+    repro fig7 [--scale 0.5] [--jobs 4]      # regenerate one figure
+    repro all  [--scale 0.5] [--jobs 4]      # all figures (shares runs)
     repro run sssp grid-level       # run one app variant, print metrics
     repro compile sssp --granularity block   # show generated CUDA
+    repro cache info|clear          # inspect/clear the on-disk result cache
+
+Figure commands batch their work plans up front: ``repro all`` takes the
+union of every figure's declared run matrix, deduplicates it, executes
+cache misses across ``--jobs`` worker processes, and renders the figures
+against the warm cache. Results persist in a content-addressed on-disk
+store (``--cache-dir``, default ``~/.cache/repro-wulb16`` or
+``$REPRO_CACHE_DIR``), so a second invocation is warm-start; disable
+with ``--no-cache``. See README.md "Reproducing the figures".
 """
 
 from __future__ import annotations
@@ -21,6 +30,29 @@ def _add_scale(p):
                    help="dataset scale factor (default 1.0)")
     p.add_argument("--no-verify", action="store_true",
                    help="skip result verification")
+
+
+def _add_cache(p):
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="on-disk result cache location "
+                        "(default: $REPRO_CACHE_DIR or ~/.cache/repro-wulb16)")
+
+
+def _add_exec(p):
+    _add_scale(p)
+    p.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
+                   help="worker processes for uncached runs (default 1)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="skip the on-disk result cache")
+    _add_cache(p)
+
+
+def _make_store(args):
+    from .experiments import ResultStore, default_cache_dir
+
+    if getattr(args, "no_cache", False):
+        return None
+    return ResultStore(args.cache_dir or default_cache_dir())
 
 
 def main(argv=None) -> int:
@@ -38,9 +70,9 @@ def main(argv=None) -> int:
 
     for fig in FIGURES:
         p = sub.add_parser(fig, help=f"regenerate {fig}")
-        _add_scale(p)
+        _add_exec(p)
     p = sub.add_parser("all", help="regenerate every figure")
-    _add_scale(p)
+    _add_exec(p)
 
     p = sub.add_parser("run", help="run one app variant")
     p.add_argument("app")
@@ -53,6 +85,10 @@ def main(argv=None) -> int:
     p.add_argument("app")
     p.add_argument("--granularity", default=None,
                    choices=["warp", "block", "grid"])
+
+    p = sub.add_parser("cache", help="inspect or clear the result cache")
+    p.add_argument("action", choices=["info", "clear"])
+    _add_cache(p)
 
     args = parser.parse_args(argv)
 
@@ -91,15 +127,36 @@ def main(argv=None) -> int:
         print(run.metrics.summary())
         return 0
 
-    # figures
-    from .experiments import ExperimentRunner
+    if args.command == "cache":
+        from .experiments import ResultStore, default_cache_dir
 
-    runner = ExperimentRunner(scale=args.scale, verify=not args.no_verify)
+        store = ResultStore(args.cache_dir or default_cache_dir())
+        if args.action == "clear":
+            removed = store.clear()
+            print(f"removed {removed} cached runs from {store.root}")
+        else:
+            print(f"cache dir : {store.root}")
+            print(f"entries   : {len(store)}")
+            print(f"size      : {store.size_bytes() / 1024:.1f} KiB")
+        return 0
+
+    # figures
+    from .experiments import ExperimentRunner, figure_plan
+    from .experiments.reporting import run_provenance
+
+    runner = ExperimentRunner(scale=args.scale, verify=not args.no_verify,
+                              store=_make_store(args), jobs=args.jobs)
     figures = list(FIGURES) if args.command == "all" else [args.command]
+    t0 = time.time()
+    plan = figure_plan(figures, runner)
+    stats = runner.prefetch(plan, jobs=args.jobs)
+    print(f"[plan: {len(plan)} unique runs (--jobs {args.jobs}): "
+          f"{stats.describe()}; {time.time() - t0:.1f}s]\n")
     for fig in figures:
         t0 = time.time()
         print(FIGURES[fig].main(runner))
         print(f"[{fig} regenerated in {time.time() - t0:.1f}s]\n")
+    print(run_provenance(runner.stats))
     return 0
 
 

@@ -1,7 +1,11 @@
 """Source-to-source entry points for the consolidation compiler.
 
 This is the user-facing equivalent of the paper's directive-based compiler
-(Fig. 3): annotated CUDA in, consolidated CUDA out.
+(Fig. 3): annotated CUDA in, consolidated CUDA out. It sits between the
+frontend (:mod:`repro.frontend`, which parses MiniCUDA and its
+``#pragma dp`` directives) and the simulator (:mod:`repro.sim`, which
+executes the generated code); README.md walks the whole pipeline and
+DESIGN.md §3-§4 document the transforms.
 
     >>> from repro.compiler import consolidate_source
     >>> result = consolidate_source(annotated_src, granularity="block")
@@ -9,7 +13,12 @@ This is the user-facing equivalent of the paper's directive-based compiler
     >>> print(result.report.describe())
 
 Each call re-parses the input so the same annotated source can be
-consolidated at every granularity independently.
+consolidated at every granularity independently. Compilation is pure and
+deterministic: the same (source, granularity, config, spec) inputs yield
+byte-identical output in any process. The experiment layer leans on this
+— consolidation happens *inside* each cached application run, so the
+work-plan scheduler (DESIGN.md §8) can fan runs across worker processes
+and content-address the results without ever hashing compiler state.
 """
 
 from __future__ import annotations

@@ -1,7 +1,26 @@
 """Experiment harnesses regenerating every figure of the paper's
-evaluation (§V). One module per figure; all share the memoized
-:class:`~repro.experiments.runner.ExperimentRunner` so Figs. 7-10 profile
-the same executions, exactly as the paper does."""
+evaluation (§V), one module per figure.
+
+Execution is organized in three layers (README.md "Reproducing the
+figures"; DESIGN.md §8):
+
+* **work plans** (:mod:`~repro.experiments.plan`) — each figure module
+  declares its run matrix up front as a ``plan(runner)`` of hashable
+  :class:`~repro.experiments.plan.RunSpec` values, so ``repro all`` can
+  union and deduplicate every requested figure's runs before anything
+  executes (Figs. 7-10 profile the *same* executions, exactly as the
+  paper does);
+* **the runner** (:mod:`~repro.experiments.runner`) — memoizes runs by
+  run-spec value, fans cache misses across a process pool
+  (``repro all --jobs N``), and merges results deterministically;
+* **the result store** (:mod:`~repro.experiments.store`) — a
+  content-addressed on-disk cache keyed by app/variant/allocator/config,
+  the dataset fingerprint and every cost-model field, so repeated figure
+  regeneration is warm-start across invocations.
+
+Figure modules only ever call :meth:`ExperimentRunner.run`; with a warm
+cache they render without triggering a single simulation.
+"""
 
 from . import (  # noqa: F401
     ablation_threshold,
@@ -12,8 +31,10 @@ from . import (  # noqa: F401
     fig9_occupancy,
     fig10_dram,
 )
+from .plan import RunSpec, WorkPlan, union  # noqa: F401
 from .reporting import PaperClaim, Table, bar_chart, geomean  # noqa: F401
-from .runner import ExperimentRunner  # noqa: F401
+from .runner import ExperimentRunner, RunStats  # noqa: F401
+from .store import ResultStore, default_cache_dir  # noqa: F401
 
 #: figure id -> module (used by the CLI and the benchmark harness)
 FIGURES = {
@@ -24,3 +45,8 @@ FIGURES = {
     "fig9": fig9_occupancy,
     "fig10": fig10_dram,
 }
+
+
+def figure_plan(figures, runner: ExperimentRunner) -> WorkPlan:
+    """Deduplicated union of the named figures' work plans."""
+    return union(FIGURES[fig].plan(runner) for fig in figures)

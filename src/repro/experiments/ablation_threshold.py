@@ -12,7 +12,10 @@ tradeoff the template embodies:
 * the sweet spot sits around the warp width, where delegated items are
   big enough to occupy the threads that process them.
 
-Run via ``benchmarks/bench_ablation_threshold.py`` or::
+The sweep goes through the shared :class:`ExperimentRunner` (each
+threshold is part of the run's cache key), so it batches and caches like
+every figure harness. Run via ``benchmarks/bench_ablation_threshold.py``
+or::
 
     from repro.experiments.ablation_threshold import main
     print(main())
@@ -20,34 +23,49 @@ Run via ``benchmarks/bench_ablation_threshold.py`` or::
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..apps import get_app
-from ..sim.specs import DEFAULT_COST_MODEL, K20C
+from .plan import RunSpec, WorkPlan
+from .runner import ExperimentRunner
 from .reporting import Table
 
 THRESHOLDS = (2, 8, 32, 128, 100_000)
 APP = "sssp"
+DEFAULT_SWEEP_SCALE = 0.5
 
 
-def compute(scale: float = 0.5, variant: str = "grid-level") -> Table:
-    app = get_app(APP)
-    dataset = app.default_dataset(scale)
+def plan(runner: ExperimentRunner, variant: str = "grid-level") -> WorkPlan:
+    """Every run :func:`compute` will request, for batch prefetching."""
+    return WorkPlan(RunSpec(APP, variant, threshold=t) for t in THRESHOLDS)
+
+
+def _sweep_runner(runner: Optional[ExperimentRunner],
+                  scale: float) -> ExperimentRunner:
+    """``scale`` only parameterizes the fallback runner; passing both a
+    runner and a non-default scale is a caller mistake."""
+    if runner is not None:
+        if scale != DEFAULT_SWEEP_SCALE:
+            raise ValueError(
+                "pass either a runner (its scale wins) or a scale, not both")
+        return runner
+    return ExperimentRunner(scale=scale)
+
+
+def compute(runner: Optional[ExperimentRunner] = None,
+            scale: float = DEFAULT_SWEEP_SCALE,
+            variant: str = "grid-level") -> Table:
+    runner = _sweep_runner(runner, scale)
     table = Table(
-        title=f"Ablation — delegation threshold ({app.label}, {variant})",
+        title=f"Ablation — delegation threshold ({get_app(APP).label}, {variant})",
         columns=["threshold", "cycles", "child launches", "buffered items",
                  "warp efficiency"],
     )
-    original = app.threshold
-    try:
-        for threshold in THRESHOLDS:
-            app.threshold = threshold
-            run = app.run(variant, dataset=dataset, spec=K20C,
-                          cost=DEFAULT_COST_MODEL)
-            m = run.metrics
-            label = str(threshold) if threshold < 100_000 else "inf (flat-like)"
-            table.add(label, f"{m.cycles:,.0f}", m.device_launches,
-                      m.buffer_pushes, f"{m.warp_execution_efficiency:.1%}")
-    finally:
-        app.threshold = original
+    for threshold in THRESHOLDS:
+        m = runner.run(APP, variant, threshold=threshold).metrics
+        label = str(threshold) if threshold < 100_000 else "inf (flat-like)"
+        table.add(label, f"{m.cycles:,.0f}", m.device_launches,
+                  m.buffer_pushes, f"{m.warp_execution_efficiency:.1%}")
     table.notes.append(
         "delegating everything and delegating nothing both lose; the knee "
         "sits near the warp width (the paper's per-app choices)"
@@ -55,25 +73,21 @@ def compute(scale: float = 0.5, variant: str = "grid-level") -> Table:
     return table
 
 
-def best_threshold(scale: float = 0.5, variant: str = "grid-level") -> int:
+def best_threshold(runner: Optional[ExperimentRunner] = None,
+                   scale: float = DEFAULT_SWEEP_SCALE,
+                   variant: str = "grid-level") -> int:
     """Threshold with the lowest simulated cycles (helper for tests)."""
-    app = get_app(APP)
-    dataset = app.default_dataset(scale)
-    original = app.threshold
+    runner = _sweep_runner(runner, scale)
     best, best_cycles = None, float("inf")
-    try:
-        for threshold in THRESHOLDS:
-            app.threshold = threshold
-            cycles = app.run(variant, dataset=dataset).metrics.cycles
-            if cycles < best_cycles:
-                best, best_cycles = threshold, cycles
-    finally:
-        app.threshold = original
+    for threshold in THRESHOLDS:
+        cycles = runner.run(APP, variant, threshold=threshold).metrics.cycles
+        if cycles < best_cycles:
+            best, best_cycles = threshold, cycles
     return best
 
 
-def main(scale: float = 0.5) -> str:
-    return compute(scale).render()
+def main(scale: float = DEFAULT_SWEEP_SCALE) -> str:
+    return compute(scale=scale).render()
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -11,12 +11,20 @@ the grid-level custom global barrier adds its own memory traffic.
 from __future__ import annotations
 
 from ..apps import all_apps
+from .plan import RunSpec, WorkPlan
 from .reporting import PaperClaim, Table, geomean
 from .runner import ExperimentRunner
 
 VARIANTS = ("warp-level", "block-level", "grid-level")
 
 PAPER_AVG_RATIO = {"warp-level": 0.60, "block-level": 0.34, "grid-level": 0.36}
+
+
+def plan(runner: ExperimentRunner) -> WorkPlan:
+    """Every run :func:`compute` will request, for batch prefetching."""
+    return WorkPlan(RunSpec(app.key, variant)
+                    for app in all_apps()
+                    for variant in ("basic-dp",) + VARIANTS)
 
 
 def compute(runner: ExperimentRunner) -> Table:

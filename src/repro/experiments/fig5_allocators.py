@@ -15,6 +15,7 @@ reference. Key published observations:
 
 from __future__ import annotations
 
+from .plan import RunSpec, WorkPlan
 from .reporting import PaperClaim, Table
 from .runner import ExperimentRunner
 
@@ -22,6 +23,14 @@ APP = "sssp"
 ALLOCATORS = ("default", "halloc", "custom")
 ALLOC_LABEL = {"default": "default", "halloc": "halloc", "custom": "pre-alloc"}
 GRANULARITIES = ("warp-level", "block-level", "grid-level")
+
+
+def plan(runner: ExperimentRunner) -> WorkPlan:
+    """Every run :func:`compute` will request, for batch prefetching."""
+    out = WorkPlan([RunSpec(APP, "basic-dp"), RunSpec(APP, "no-dp")])
+    out.extend(RunSpec(APP, gran, allocator=alloc)
+               for gran in GRANULARITIES for alloc in ALLOCATORS)
+    return out
 
 
 def compute(runner: ExperimentRunner) -> Table:

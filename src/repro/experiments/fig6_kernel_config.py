@@ -13,6 +13,7 @@ Published findings:
 from __future__ import annotations
 
 from ..sim.occupancy import LaunchConfig, kc_config
+from .plan import RunSpec, WorkPlan
 from .reporting import PaperClaim, Table, geomean
 from .runner import ExperimentRunner
 
@@ -51,6 +52,26 @@ def register_datasets(runner: ExperimentRunner) -> list[str]:
         runner.register_dataset(APP, "dataset1", tree_dataset1(runner.scale))
         runner.register_dataset(APP, "dataset2", tree_dataset2(runner.scale))
     return names
+
+
+def plan(runner: ExperimentRunner, exhaustive: bool = True) -> WorkPlan:
+    """Every run :func:`compute` will request, for batch prefetching.
+
+    Registers the Fig. 6 tree datasets on the runner as a side effect
+    (the plan's specs reference them by name).
+    """
+    datasets = register_datasets(runner)
+    configs = [RunSpec.config_key(cfg) for cfg in _kc_configs(runner.spec).values()]
+    configs.append(("one2one", None, None))
+    if exhaustive:
+        configs.extend(("explicit", blocks, threads)
+                       for blocks, threads in exhaustive_configs(runner.spec))
+    out = WorkPlan()
+    for ds in datasets:
+        out.add(RunSpec(APP, "basic-dp", dataset=ds))
+        out.extend(RunSpec(APP, gran, config=cfg, dataset=ds)
+                   for gran in GRANULARITIES for cfg in configs)
+    return out
 
 
 def compute(runner: ExperimentRunner, exhaustive: bool = True) -> Table:

@@ -14,6 +14,7 @@ claims checked here are the *orderings* and the flat-relative gains.
 from __future__ import annotations
 
 from ..apps import all_apps
+from .plan import RunSpec, WorkPlan
 from .reporting import PaperClaim, Table, bar_chart, geomean
 from .runner import ExperimentRunner
 
@@ -22,6 +23,13 @@ VARIANTS = ("no-dp", "warp-level", "block-level", "grid-level")
 #: paper-reported averages for EXPERIMENTS.md (speedup over basic-dp)
 PAPER_AVG = {"warp-level": 999.0, "block-level": 1357.0, "grid-level": 1459.0}
 PAPER_AVG_VS_FLAT = {"warp-level": 2.18, "block-level": 3.26, "grid-level": 3.78}
+
+
+def plan(runner: ExperimentRunner) -> WorkPlan:
+    """Every run :func:`compute` will request, for batch prefetching."""
+    return WorkPlan(RunSpec(app.key, variant)
+                    for app in all_apps()
+                    for variant in ("basic-dp",) + VARIANTS)
 
 
 def compute(runner: ExperimentRunner) -> Table:

@@ -10,6 +10,7 @@ buffer insertions, which is precisely why consolidation helps this metric.
 from __future__ import annotations
 
 from ..apps import all_apps
+from .plan import RunSpec, WorkPlan
 from .reporting import PaperClaim, Table
 from .runner import ExperimentRunner
 
@@ -17,6 +18,12 @@ VARIANTS = ("basic-dp", "warp-level", "block-level", "grid-level")
 
 PAPER_AVG_WEE = {"basic-dp": 0.332, "warp-level": 0.693, "block-level": 0.750,
                  "grid-level": 0.831}
+
+
+def plan(runner: ExperimentRunner) -> WorkPlan:
+    """Every run :func:`compute` will request, for batch prefetching."""
+    return WorkPlan(RunSpec(app.key, variant)
+                    for app in all_apps() for variant in VARIANTS)
 
 
 def compute(runner: ExperimentRunner) -> Table:

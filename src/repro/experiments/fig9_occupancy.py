@@ -14,6 +14,7 @@ checked claims are the orderings and relative gains.
 from __future__ import annotations
 
 from ..apps import all_apps
+from .plan import RunSpec, WorkPlan
 from .reporting import PaperClaim, Table
 from .runner import ExperimentRunner
 
@@ -21,6 +22,12 @@ VARIANTS = ("basic-dp", "warp-level", "block-level", "grid-level")
 
 PAPER_AVG_OCC = {"basic-dp": 0.279, "warp-level": 0.393, "block-level": 0.603,
                  "grid-level": 0.829}
+
+
+def plan(runner: ExperimentRunner) -> WorkPlan:
+    """Every run :func:`compute` will request, for batch prefetching."""
+    return WorkPlan(RunSpec(app.key, variant)
+                    for app in all_apps() for variant in VARIANTS)
 
 
 def compute(runner: ExperimentRunner) -> Table:

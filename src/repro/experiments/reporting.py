@@ -79,6 +79,16 @@ def geomean(values: Sequence[float]) -> float:
     return math.exp(sum(math.log(v) for v in vals) / len(vals))
 
 
+def run_provenance(stats) -> str:
+    """One status line saying where a harness's runs came from.
+
+    ``stats`` is a :class:`~repro.experiments.runner.RunStats`; the CLI
+    prints this once after rendering so warm-start invocations are
+    visible (``0 executed`` means the cache supplied everything).
+    """
+    return f"[runs: {stats.describe()}]"
+
+
 @dataclass
 class PaperClaim:
     """A paper-reported quantity and how our measurement compares."""

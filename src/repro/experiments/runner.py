@@ -1,24 +1,108 @@
-"""Memoized experiment runner.
+"""Parallel, persistently-cached experiment runner.
 
-The paper profiles the *same* executions for Figs. 7, 8, 9 and 10 (overall
-speedup, warp efficiency, occupancy, DRAM transactions). The runner caches
-one :class:`~repro.apps.common.AppRun` per configuration key so the four
-harnesses share runs exactly the same way.
+The paper profiles the *same* executions for Figs. 7, 8, 9 and 10
+(overall speedup, warp efficiency, occupancy, DRAM transactions), and
+Fig. 5/6 sweep allocators and kernel configurations over a shared
+baseline. The runner therefore treats application runs as cacheable
+values addressed by their full input description:
+
+1. **In-memory memoization** — runs are keyed by a resolved
+   :class:`~repro.experiments.plan.RunSpec` (app, variant, allocator,
+   launch config, dataset, *cost-model values*, threshold), so the four
+   profiling harnesses share runs exactly the way the paper gathered its
+   numbers. Keys compare by value: two equal cost models share an entry
+   (the seed's ``id(cost_obj)`` key did not, and could collide after
+   garbage collection reused an id).
+2. **On-disk persistence** — with a :class:`~repro.experiments.store.ResultStore`
+   attached, every executed run is written to a content-addressed cache,
+   so repeated figure regeneration is warm-start across processes.
+3. **Parallel prefetch** — :meth:`ExperimentRunner.prefetch` takes a
+   :class:`~repro.experiments.plan.WorkPlan` (typically the deduplicated
+   union of several figures' plans), filters out cached runs, and fans
+   the rest across a process pool. Results are merged by key, so figure
+   output is byte-identical regardless of worker count or completion
+   order.
+
+See DESIGN.md §8 for the architecture and the determinism argument.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Optional
 
 from ..apps import get_app
 from ..apps.common import AppRun
 from ..sim.occupancy import LaunchConfig
 from ..sim.specs import CostModel, DEFAULT_COST_MODEL, DeviceSpec, K20C
+from .plan import RunSpec, WorkPlan
+from .store import ResultStore, dataset_fingerprint, run_key
 
 #: default dataset scale for experiment runs: keeps each simulated run in
 #: the seconds range on a laptop while preserving degree/fanout skew
 DEFAULT_SCALE = 1.0
+
+
+@dataclass
+class RunStats:
+    """Where the runner's results came from.
+
+    ``executed`` counts distinct simulations; the hit counters count
+    *lookups served* — a run executed once and then recalled twice is
+    1 executed + 2 memory hits.
+    """
+
+    executed: int = 0
+    memory_hits: int = 0
+    disk_hits: int = 0
+
+    def describe(self) -> str:
+        return (f"{self.executed} executed, {self.memory_hits} memory hits, "
+                f"{self.disk_hits} disk hits")
+
+
+def _execute(spec: RunSpec, dataset, device_spec: DeviceSpec,
+             verify: bool) -> AppRun:
+    """Execute one resolved RunSpec against a materialized dataset."""
+    app = get_app(spec.app)
+    return app.run(
+        spec.variant,
+        dataset=dataset,
+        allocator=spec.allocator,
+        config=spec.launch_config(device_spec),
+        spec=device_spec,
+        cost=spec.cost,
+        verify=verify,
+        threshold=spec.threshold,
+    )
+
+
+#: per-worker state installed by :func:`_init_worker` — the datasets are
+#: shipped once per worker (pool initializer), not once per task
+_WORKER_STATE = None
+
+
+def _init_worker(datasets, device_spec, verify) -> None:
+    global _WORKER_STATE
+    _WORKER_STATE = (datasets, device_spec, verify)
+
+
+def _execute_in_worker(spec: RunSpec) -> AppRun:
+    datasets, device_spec, verify = _WORKER_STATE
+    return _execute(spec, datasets[(spec.app, spec.dataset)], device_spec,
+                    verify)
+
+
+def _pool_context():
+    import multiprocessing
+    import sys
+
+    # fork is cheap and inherits the app registry, but is only safe on
+    # Linux (macOS system frameworks can abort forked children)
+    if sys.platform == "linux":
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context("spawn")
 
 
 @dataclass
@@ -27,9 +111,17 @@ class ExperimentRunner:
     spec: DeviceSpec = K20C
     cost: CostModel = DEFAULT_COST_MODEL
     verify: bool = True
+    #: optional on-disk cache; None keeps the runner purely in-memory
+    store: Optional[ResultStore] = None
+    #: default worker count for :meth:`prefetch`
+    jobs: int = 1
+    stats: RunStats = field(default_factory=RunStats, repr=False)
     _cache: dict = field(default_factory=dict, repr=False)
     #: optional named datasets (e.g. Fig. 6's tree dataset1/dataset2)
     _datasets: dict = field(default_factory=dict, repr=False)
+    _fingerprints: dict = field(default_factory=dict, repr=False)
+
+    # -- datasets -------------------------------------------------------------
 
     def dataset(self, app_key: str, name: Optional[str] = None):
         """Default (or registered) dataset for an app, cached."""
@@ -42,24 +134,129 @@ class ExperimentRunner:
 
     def register_dataset(self, app_key: str, name: str, dataset) -> None:
         self._datasets[(app_key, name)] = dataset
+        # the content address must track the dataset actually registered
+        self._fingerprints.pop((app_key, name), None)
+
+    def _fingerprint(self, app_key: str, name: Optional[str]) -> str:
+        key = (app_key, name)
+        if key not in self._fingerprints:
+            self._fingerprints[key] = dataset_fingerprint(
+                self.dataset(app_key, name))
+        return self._fingerprints[key]
+
+    # -- keying ---------------------------------------------------------------
+
+    def _resolve(self, spec: RunSpec) -> RunSpec:
+        """Fill runner/app defaults so the spec fully determines the run."""
+        cost = spec.cost if spec.cost is not None else self.cost
+        threshold = (spec.threshold if spec.threshold is not None
+                     else get_app(spec.app).threshold)
+        if cost is spec.cost and threshold == spec.threshold:
+            return spec
+        return replace(spec, cost=cost, threshold=threshold)
+
+    def _content_key(self, resolved: RunSpec) -> str:
+        from .. import __version__
+
+        return run_key(
+            app=resolved.app,
+            variant=resolved.variant,
+            allocator=resolved.allocator,
+            config=resolved.config,
+            dataset_fp=self._fingerprint(resolved.app, resolved.dataset),
+            cost=resolved.cost,
+            spec=self.spec,
+            threshold=resolved.threshold,
+            verify=self.verify,
+            version=__version__,
+        )
+
+    # -- execution ------------------------------------------------------------
+
+    def _admit(self, resolved: RunSpec, run: AppRun) -> None:
+        """Record a freshly *executed* run (memory + disk + stats)."""
+        self.stats.executed += 1
+        self._cache[resolved] = run
+        if self.store is not None:
+            self.store.put(self._content_key(resolved), run)
+
+    def _lookup(self, resolved: RunSpec) -> Optional[AppRun]:
+        """Memory first, then the on-disk store (promoting hits)."""
+        run = self._cache.get(resolved)
+        if run is not None:
+            self.stats.memory_hits += 1
+            return run
+        if self.store is not None:
+            run = self.store.get(self._content_key(resolved))
+            if run is not None:
+                self.stats.disk_hits += 1
+                self._cache[resolved] = run
+                return run
+        return None
+
+    def run_spec(self, spec: RunSpec) -> AppRun:
+        """Execute (or recall) one RunSpec."""
+        resolved = self._resolve(spec)
+        run = self._lookup(resolved)
+        if run is None:
+            run = _execute(resolved, self.dataset(resolved.app, resolved.dataset),
+                           self.spec, self.verify)
+            self._admit(resolved, run)
+        return run
 
     def run(self, app_key: str, variant: str, *, allocator: str = "custom",
             config: Optional[LaunchConfig] = None,
             dataset_name: Optional[str] = None,
-            cost: Optional[CostModel] = None) -> AppRun:
-        cfg_key = None
-        if config is not None:
-            cfg_key = (config.mode, config.blocks, config.threads)
-        cost_obj = cost or self.cost
-        key = (app_key, variant, allocator, cfg_key, dataset_name, id(cost_obj))
-        if key not in self._cache:
-            app = get_app(app_key)
-            dataset = self.dataset(app_key, dataset_name)
-            self._cache[key] = app.run(
-                variant, dataset=dataset, allocator=allocator, config=config,
-                spec=self.spec, cost=cost_obj, verify=self.verify,
-            )
-        return self._cache[key]
+            cost: Optional[CostModel] = None,
+            threshold: Optional[int] = None) -> AppRun:
+        return self.run_spec(RunSpec(
+            app=app_key, variant=variant, allocator=allocator,
+            config=RunSpec.config_key(config), dataset=dataset_name,
+            cost=cost, threshold=threshold,
+        ))
+
+    def prefetch(self, specs: Iterable[RunSpec],
+                 jobs: Optional[int] = None) -> RunStats:
+        """Materialize every spec's run, fanning cache misses across a
+        process pool.
+
+        Returns the stats delta for this prefetch. With ``jobs <= 1`` (or
+        one miss) execution is serial and in-process; either way the
+        cache ends up in the same state, so downstream figure rendering
+        is byte-identical.
+        """
+        jobs = self.jobs if jobs is None else jobs
+        before = replace(self.stats)
+        missing = WorkPlan()
+        for spec in specs:
+            resolved = self._resolve(spec)
+            if resolved not in missing and self._lookup(resolved) is None:
+                missing.add(resolved)
+        pending = list(missing)
+        datasets = {(r.app, r.dataset): self.dataset(r.app, r.dataset)
+                    for r in pending}
+        if jobs > 1 and len(pending) > 1:
+            workers = min(jobs, len(pending))
+            with ProcessPoolExecutor(
+                    max_workers=workers, mp_context=_pool_context(),
+                    initializer=_init_worker,
+                    initargs=(datasets, self.spec, self.verify)) as pool:
+                futures = {pool.submit(_execute_in_worker, r): r
+                           for r in pending}
+                for future in as_completed(futures):
+                    self._admit(futures[future], future.result())
+        else:
+            for resolved in pending:
+                self._admit(resolved, _execute(
+                    resolved, datasets[(resolved.app, resolved.dataset)],
+                    self.spec, self.verify))
+        return RunStats(
+            executed=self.stats.executed - before.executed,
+            memory_hits=self.stats.memory_hits - before.memory_hits,
+            disk_hits=self.stats.disk_hits - before.disk_hits,
+        )
+
+    # -- helpers --------------------------------------------------------------
 
     def speedup_over_basic(self, app_key: str, variant: str, **kw) -> float:
         base = self.run(app_key, "basic-dp", **{k: v for k, v in kw.items()

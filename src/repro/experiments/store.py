@@ -1,0 +1,161 @@
+"""Content-addressed on-disk store for experiment results.
+
+Every :class:`~repro.apps.common.AppRun` is addressed by a stable hash of
+*everything that determines it*: the app key, variant, allocator, launch
+configuration, the dataset's content fingerprint, every cost-model field,
+the device spec, the delegation threshold, the verify flag, and the
+package version. Two runs with value-equal inputs therefore share one
+cache entry — across processes and across invocations — while any change
+to a cost constant, a dataset generator, or the package itself changes
+the address and forces re-execution.
+
+This replaces the seed runner's in-process ``id(cost_obj)`` key, which
+was doubly wrong: it missed sharing between value-equal cost models, and
+``id()`` values are reused after garbage collection, so a *different*
+cost model could silently hit a stale entry.
+
+Entries are pickled ``AppRun`` objects written atomically
+(temp file + ``os.replace``), so concurrent writers — e.g. two
+``repro all --jobs N`` invocations against one cache directory — never
+expose torn files. Unreadable entries are treated as misses and removed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+#: bump to invalidate every existing cache entry on a format change
+STORE_FORMAT = 1
+
+#: environment variable overriding the default cache directory
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR``, else ``~/.cache/repro-wulb16``."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-wulb16"
+
+
+def _hash_value(h, value) -> None:
+    if isinstance(value, np.ndarray):
+        arr = np.ascontiguousarray(value)
+        h.update(str(arr.dtype).encode())
+        h.update(str(arr.shape).encode())
+        h.update(arr.tobytes())
+    else:
+        h.update(repr(value).encode())
+
+
+def dataset_fingerprint(dataset) -> str:
+    """Content hash of a dataset (CSR graph, tree, or any dataclass of
+    NumPy arrays and scalars)."""
+    h = hashlib.sha256()
+    h.update(type(dataset).__name__.encode())
+    if dataclasses.is_dataclass(dataset):
+        for f in dataclasses.fields(dataset):
+            h.update(f.name.encode())
+            _hash_value(h, getattr(dataset, f.name))
+    else:
+        _hash_value(h, dataset)
+    return h.hexdigest()
+
+
+def run_key(*, app: str, variant: str, allocator: str,
+            config: Optional[tuple], dataset_fp: str,
+            cost, spec, threshold: int, verify: bool,
+            version: str) -> str:
+    """Stable content address for one application run."""
+    payload = {
+        "format": STORE_FORMAT,
+        "version": version,
+        "app": app,
+        "variant": variant,
+        "allocator": allocator,
+        "config": list(config) if config is not None else None,
+        "dataset": dataset_fp,
+        "cost": dataclasses.asdict(cost),
+        "spec": dataclasses.asdict(spec),
+        "threshold": threshold,
+        "verify": verify,
+    }
+    blob = json.dumps(payload, sort_keys=True, default=str)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+class ResultStore:
+    """Filesystem-backed map from content address to pickled AppRun."""
+
+    def __init__(self, root: Path | str):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str):
+        """The stored AppRun, or None; corrupt entries count as misses."""
+        path = self.path_for(key)
+        try:
+            with path.open("rb") as fh:
+                return pickle.load(fh)
+        except FileNotFoundError:
+            return None
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, ValueError):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+
+    def put(self, key: str, run) -> None:
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(run, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).exists()
+
+    def _entries(self) -> list[Path]:
+        return list(self.root.glob("*/*.pkl"))
+
+    def __len__(self) -> int:
+        return len(self._entries())
+
+    def size_bytes(self) -> int:
+        return sum(p.stat().st_size for p in self._entries())
+
+    def clear(self) -> int:
+        """Remove every entry; returns how many were removed."""
+        entries = self._entries()
+        for path in entries:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        return len(entries)
+
+    def __repr__(self) -> str:
+        return f"ResultStore({str(self.root)!r})"

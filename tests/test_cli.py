@@ -29,9 +29,34 @@ class TestCli:
         assert "halloc" in out
 
     def test_figure_command(self, capsys):
-        assert main(["fig5", "--scale", "0.15"]) == 0
+        assert main(["fig5", "--scale", "0.15", "--no-cache"]) == 0
         out = capsys.readouterr().out
         assert "Fig. 5" in out
+        assert "executed" in out  # provenance line
+
+    def test_figure_jobs_and_disk_cache(self, capsys, tmp_path):
+        args = ["fig5", "--scale", "0.15", "--cache-dir", str(tmp_path)]
+        assert main(args + ["--jobs", "2"]) == 0
+        cold = capsys.readouterr().out
+        assert main(args) == 0
+        warm = capsys.readouterr().out
+        assert ": 0 executed" in warm
+
+        def figure_text(out):
+            return "\n".join(line for line in out.splitlines()
+                             if not line.startswith("["))
+
+        assert figure_text(warm) == figure_text(cold)
+
+    def test_cache_info_and_clear(self, capsys, tmp_path):
+        main(["fig5", "--scale", "0.15", "--cache-dir", str(tmp_path)])
+        capsys.readouterr()
+        assert main(["cache", "info", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "entries   : 11" in out
+        assert main(["cache", "clear", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "removed 11" in out
 
     def test_unknown_command(self):
         with pytest.raises(SystemExit):

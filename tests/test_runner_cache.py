@@ -1,0 +1,206 @@
+"""Tests for the parallel, cache-backed experiment runner: value-based
+cache keys, the content-addressed on-disk store, work-plan dedup, and
+``--jobs N`` producing output identical to serial execution."""
+
+import pickle
+
+import pytest
+
+from repro.experiments import (
+    ExperimentRunner,
+    FIGURES,
+    ResultStore,
+    RunSpec,
+    WorkPlan,
+    fig5_allocators,
+    figure_plan,
+)
+from repro.experiments.store import dataset_fingerprint, run_key
+from repro.sim.specs import CostModel, DEFAULT_COST_MODEL, K20C
+
+SCALE = 0.15
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(scale=SCALE)
+
+
+class TestCostModelKeying:
+    """The cache must key on cost-model *values*, not object identity
+    (the seed used id(cost_obj), which misses sharing between equal
+    models and can collide once the GC reuses an id)."""
+
+    def test_equal_cost_models_share_entry(self, runner):
+        a = runner.run("spmv", "basic-dp", cost=CostModel())
+        b = runner.run("spmv", "basic-dp", cost=CostModel())
+        assert a is b
+
+    def test_default_cost_is_an_equal_value(self, runner):
+        a = runner.run("spmv", "basic-dp")
+        b = runner.run("spmv", "basic-dp", cost=CostModel())
+        assert a is b
+
+    def test_differing_cost_models_do_not_share(self, runner):
+        a = runner.run("spmv", "basic-dp")
+        b = runner.run("spmv", "basic-dp",
+                       cost=DEFAULT_COST_MODEL.scaled(dram_transaction_cycles=41))
+        assert a is not b
+
+    def test_gc_id_reuse_cannot_collide(self, runner):
+        """Run with a scaled cost model, drop it, build another scaled
+        model (which may reuse the freed id), and check each keys its
+        own entry."""
+        before = runner.stats.executed
+        cost1 = DEFAULT_COST_MODEL.scaled(atomic_cycles=13)
+        run1 = runner.run("spmv", "no-dp", cost=cost1)
+        del cost1
+        cost2 = DEFAULT_COST_MODEL.scaled(atomic_cycles=14)
+        run2 = runner.run("spmv", "no-dp", cost=cost2)
+        assert run1 is not run2
+        assert runner.stats.executed == before + 2
+
+    def test_threshold_in_key(self, runner):
+        a = runner.run("sssp", "grid-level", threshold=8)
+        b = runner.run("sssp", "grid-level", threshold=32)
+        c = runner.run("sssp", "grid-level")  # sssp's default is 8
+        assert a is not b
+        assert a is c
+
+
+class TestResultStore:
+    def test_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        warm = ExperimentRunner(scale=SCALE, store=store)
+        executed = warm.run("spmv", "grid-level")
+        assert warm.stats.executed == 1
+        assert len(store) == 1
+
+        fresh = ExperimentRunner(scale=SCALE, store=store)
+        recalled = fresh.run("spmv", "grid-level")
+        assert fresh.stats.executed == 0
+        assert fresh.stats.disk_hits == 1
+        assert recalled.metrics.cycles == executed.metrics.cycles
+        assert recalled.metrics.dram_transactions == \
+            executed.metrics.dram_transactions
+        assert (recalled.result == executed.result).all()
+        assert recalled.checked == executed.checked
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        warm = ExperimentRunner(scale=SCALE, store=store)
+        warm.run("spmv", "no-dp")
+        entry = next(tmp_path.glob("*/*.pkl"))
+        entry.write_bytes(b"not a pickle")
+
+        fresh = ExperimentRunner(scale=SCALE, store=store)
+        fresh.run("spmv", "no-dp")
+        assert fresh.stats.executed == 1
+        # the corrupt file was evicted and replaced by the re-execution
+        assert pickle.load(next(tmp_path.glob("*/*.pkl")).open("rb"))
+
+    def test_scale_changes_address(self, tmp_path):
+        store = ResultStore(tmp_path)
+        ExperimentRunner(scale=SCALE, store=store).run("spmv", "no-dp")
+        other = ExperimentRunner(scale=0.2, store=store)
+        other.run("spmv", "no-dp")
+        assert other.stats.executed == 1  # different dataset -> different key
+
+    def test_cost_fields_change_address(self):
+        ds_fp = "0" * 64
+        base = dict(app="spmv", variant="no-dp", allocator="custom",
+                    config=None, dataset_fp=ds_fp, cost=DEFAULT_COST_MODEL,
+                    spec=K20C, threshold=8, verify=True, version="1.0")
+        k1 = run_key(**base)
+        assert k1 == run_key(**base)
+        k2 = run_key(**{**base, "cost": DEFAULT_COST_MODEL.scaled(swap_cycles=1)})
+        assert k1 != k2
+
+    def test_dataset_fingerprint_tracks_content(self):
+        from repro.apps import get_app
+
+        d1 = get_app("spmv").default_dataset(SCALE)
+        d2 = get_app("spmv").default_dataset(SCALE)
+        assert dataset_fingerprint(d1) == dataset_fingerprint(d2)
+        d2.col_idx = d2.col_idx.copy()
+        d2.col_idx[0] += 1
+        assert dataset_fingerprint(d1) != dataset_fingerprint(d2)
+
+    def test_clear_and_info(self, tmp_path):
+        store = ResultStore(tmp_path)
+        ExperimentRunner(scale=SCALE, store=store).run("spmv", "no-dp")
+        assert len(store) == 1 and store.size_bytes() > 0
+        assert store.clear() == 1
+        assert len(store) == 0
+
+
+class TestWorkPlans:
+    def test_dedupe_preserves_order(self):
+        a = RunSpec("spmv", "basic-dp")
+        b = RunSpec("spmv", "no-dp")
+        plan = WorkPlan([a, b, a, b, a])
+        assert list(plan) == [a, b]
+
+    def test_union_across_figures_dedupes(self, runner):
+        p8 = FIGURES["fig8"].plan(runner)
+        p9 = FIGURES["fig9"].plan(runner)
+        assert set(p8) == set(p9)
+        assert len(figure_plan(["fig8", "fig9"], runner)) == len(p8)
+
+    def test_fig7_plan_covers_fig8(self, runner):
+        p7 = set(FIGURES["fig7"].plan(runner))
+        assert set(FIGURES["fig8"].plan(runner)) <= p7
+
+    def test_plans_are_complete(self):
+        """After prefetching a figure's plan, rendering it must not
+        execute a single additional run."""
+        for fig in ("fig5", "fig10"):
+            r = ExperimentRunner(scale=SCALE)
+            r.prefetch(FIGURES[fig].plan(r))
+            before = r.stats.executed
+            FIGURES[fig].main(r)
+            assert r.stats.executed == before, fig
+
+
+class TestParallelPrefetch:
+    def test_jobs2_output_identical_to_serial(self):
+        serial = ExperimentRunner(scale=SCALE)
+        expected = fig5_allocators.main(serial)
+
+        parallel = ExperimentRunner(scale=SCALE)
+        stats = parallel.prefetch(fig5_allocators.plan(parallel), jobs=2)
+        assert stats.executed == len(fig5_allocators.plan(parallel))
+        got = fig5_allocators.main(parallel)
+        assert got == expected
+
+    def test_prefetch_skips_cached(self, runner):
+        runner.run("spmv", "basic-dp")
+        stats = runner.prefetch(WorkPlan([RunSpec("spmv", "basic-dp")]),
+                                jobs=2)
+        assert stats.executed == 0
+
+    def test_parallel_results_persist_to_store(self, tmp_path):
+        store = ResultStore(tmp_path)
+        r = ExperimentRunner(scale=SCALE, store=store)
+        plan = WorkPlan([RunSpec("spmv", "basic-dp"),
+                         RunSpec("spmv", "no-dp"),
+                         RunSpec("spmv", "grid-level")])
+        r.prefetch(plan, jobs=2)
+        assert len(store) == 3
+
+
+class TestWarmStartSkipsAllRuns:
+    def test_second_invocation_executes_nothing(self, tmp_path):
+        """Acceptance: a warm-cache figure regeneration runs zero
+        simulations and produces identical output."""
+        store = ResultStore(tmp_path)
+        cold = ExperimentRunner(scale=SCALE, store=store)
+        cold.prefetch(fig5_allocators.plan(cold), jobs=2)
+        cold_text = fig5_allocators.main(cold)
+        assert cold.stats.executed > 0
+
+        warm = ExperimentRunner(scale=SCALE, store=store)
+        warm.prefetch(fig5_allocators.plan(warm), jobs=2)
+        warm_text = fig5_allocators.main(warm)
+        assert warm.stats.executed == 0
+        assert warm_text == cold_text
