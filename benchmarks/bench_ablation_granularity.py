@@ -1,0 +1,22 @@
+"""Ablation bench: the consolidation-strategy (granularity) axis.
+
+At full scale the per-app table makes the trade-off from DESIGN.md §10
+checkable: grid-level wins wherever launch overhead dominates, while the
+launch/buffer/stall columns show *why* — each strategy's aggregation
+factor against its barrier and allocator price.
+"""
+
+from conftest import emit, runner  # noqa: F401
+
+from repro.experiments import ablation_granularity
+
+
+def test_granularity_sweep(benchmark, runner):  # noqa: F811
+    table = benchmark.pedantic(
+        lambda: ablation_granularity.compute(runner),
+        rounds=1, iterations=1,
+    )
+    emit("Ablation — consolidation strategy per app", table.render())
+    assert len(table.rows) == 8  # 7 apps + geomean
+    for claim in ablation_granularity.claims(table):
+        assert claim.holds, claim.render()

@@ -12,7 +12,7 @@ comparison is reproducible.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass

@@ -20,13 +20,16 @@ from .common import (  # noqa: F401
     AppRun,
     BASIC,
     BLOCK,
+    CONS,
     CONSOLIDATED,
     FLAT,
     GRID,
     REGISTRY,
+    VARIANT_FOR_STRATEGY,
     VARIANTS,
     WARP,
     all_apps,
+    canonicalize_variant,
     get_app,
 )
 

@@ -38,8 +38,45 @@ WARP = "warp-level"
 BLOCK = "block-level"
 GRID = "grid-level"
 
+#: the generic consolidated variant: which granularity is applied comes
+#: from the ``strategy`` axis (a registered consolidation strategy name;
+#: None means the pragma's ``consldt`` clause decides)
+CONS = "consolidated"
+
 VARIANTS = (BASIC, FLAT, WARP, BLOCK, GRID)
 CONSOLIDATED = {WARP: "warp", BLOCK: "block", GRID: "grid"}
+#: built-in strategy name -> its legacy per-granularity variant label
+VARIANT_FOR_STRATEGY = {gran: variant for variant, gran in CONSOLIDATED.items()}
+
+
+def canonicalize_variant(variant: str,
+                         strategy: Optional[str]) -> tuple[str, Optional[str]]:
+    """Collapse redundant (variant, strategy) pairs to one spelling.
+
+    ``("consolidated", "warp")`` and ``("warp-level", None)`` request the
+    same run; canonicalizing to the legacy variant keeps one cache entry
+    (and one figure label) per distinct execution, while strategies
+    outside the built-in three stay on the generic variant. Contradictory
+    pairs (a per-granularity variant with a *different* strategy, or a
+    strategy on basic-dp/no-dp) are rejected.
+    """
+    if variant == CONS:
+        legacy = VARIANT_FOR_STRATEGY.get(strategy)
+        if legacy is not None:
+            return legacy, None
+        return variant, strategy
+    if strategy is not None:
+        expected = CONSOLIDATED.get(variant)
+        if expected is None:
+            raise ValueError(
+                f"variant {variant!r} does not take a consolidation "
+                f"strategy (got {strategy!r})")
+        if strategy != expected:
+            raise ValueError(
+                f"variant {variant!r} contradicts strategy {strategy!r}; "
+                f"use variant 'consolidated' to select a strategy")
+        return variant, None
+    return variant, None
 
 
 @dataclass
@@ -53,6 +90,9 @@ class AppRun:
     result: np.ndarray
     report: Optional[ConsolidationReport] = None
     checked: bool = False
+    #: consolidation strategy, when the variant alone doesn't imply one
+    #: (i.e. a non-builtin strategy ran under the 'consolidated' variant)
+    strategy: Optional[str] = None
 
 
 class App(abc.ABC):
@@ -76,13 +116,26 @@ class App(abc.ABC):
 
     def variant_source(self, variant: str,
                        config: Optional[LaunchConfig] = None,
-                       spec: DeviceSpec = K20C
+                       spec: DeviceSpec = K20C,
+                       strategy: Optional[str] = None
                        ) -> tuple[str, Optional[ConsolidationReport]]:
-        """Source text + consolidation report for a variant."""
+        """Source text + consolidation report for a variant.
+
+        ``strategy`` names a registered consolidation strategy; it is
+        only meaningful with the ``consolidated`` variant (or, redundantly,
+        with the matching per-granularity variant).
+        """
+        variant, strategy = canonicalize_variant(variant, strategy)
         if variant == BASIC:
             return self.annotated_source(), None
         if variant == FLAT:
             return self.flat_source(), None
+        if variant == CONS:
+            # non-builtin (or pragma-default) strategy
+            res = consolidate_source(self.annotated_source(),
+                                     granularity=strategy,
+                                     config=config, spec=spec)
+            return res.source, res.report
         gran = CONSOLIDATED.get(variant)
         if gran is None:
             raise ValueError(f"unknown variant {variant!r}")
@@ -121,15 +174,18 @@ class App(abc.ABC):
             allocator: str = "custom", config: Optional[LaunchConfig] = None,
             spec: DeviceSpec = K20C, cost: CostModel = DEFAULT_COST_MODEL,
             heap_bytes: Optional[int] = None, verify: bool = True,
-            threshold: Optional[int] = None) -> AppRun:
+            threshold: Optional[int] = None,
+            strategy: Optional[str] = None) -> AppRun:
         """Execute one variant on a fresh simulated device and profile it.
 
         ``threshold`` overrides the app's work-delegation threshold for
-        this run only (the ablation harness sweeps it). The returned
-        :class:`AppRun` is plain picklable data, so the experiment
-        runner can execute runs in worker processes and persist them in
-        its on-disk result store.
+        this run only (the ablation harness sweeps it); ``strategy``
+        selects the consolidation strategy for the ``consolidated``
+        variant. The returned :class:`AppRun` is plain picklable data,
+        so the experiment runner can execute runs in worker processes
+        and persist them in its on-disk result store.
         """
+        variant, strategy = canonicalize_variant(variant, strategy)
         if dataset is None:
             dataset = self.default_dataset(scale)
         original_threshold = self.threshold
@@ -137,7 +193,7 @@ class App(abc.ABC):
             self.threshold = threshold
         try:
             source, report = self.variant_source(variant, config=config,
-                                                 spec=spec)
+                                                 spec=spec, strategy=strategy)
             kwargs = {} if heap_bytes is None else {"heap_bytes": heap_bytes}
             device = Device(spec=spec, cost=cost, allocator=allocator, **kwargs)
             program = device.load(source)
@@ -157,6 +213,7 @@ class App(abc.ABC):
             app=self.key, variant=variant,
             dataset=getattr(dataset, "name", str(dataset)),
             metrics=metrics, result=result, report=report, checked=checked,
+            strategy=strategy,
         )
 
 

@@ -20,7 +20,6 @@ and pointer-vs-scalar decisions.
 
 from __future__ import annotations
 
-import textwrap
 from dataclasses import dataclass, field
 
 from ..errors import CodegenError
@@ -48,13 +47,11 @@ from ..frontend.ast_nodes import (
     Index,
     IntLit,
     LaunchExpr,
-    Module,
     PragmaStmt,
     Return,
     Stmt,
     StringLit,
     Ternary,
-    Type,
     UnOp,
     VarDeclarator,
     While,

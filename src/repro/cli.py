@@ -2,11 +2,13 @@
 
 ::
 
-    repro list                      # benchmarks and figures
+    repro list                      # benchmarks, figures, strategies
     repro fig7 [--scale 0.5] [--jobs 4]      # regenerate one figure
     repro all  [--scale 0.5] [--jobs 4]      # all figures (shares runs)
+    repro granularity               # strategy (granularity) ablation
     repro run sssp grid-level       # run one app variant, print metrics
-    repro compile sssp --granularity block   # show generated CUDA
+    repro run sssp consolidated --strategy block   # pick a strategy
+    repro compile sssp --strategy block      # show generated CUDA
     repro cache info|clear          # inspect/clear the on-disk result cache
 
 Figure commands batch their work plans up front: ``repro all`` takes the
@@ -74,17 +76,25 @@ def main(argv=None) -> int:
     p = sub.add_parser("all", help="regenerate every figure")
     _add_exec(p)
 
+    from .compiler.strategies import available_strategies
+
     p = sub.add_parser("run", help="run one app variant")
     p.add_argument("app")
     p.add_argument("variant")
     p.add_argument("--allocator", default="custom",
                    choices=["default", "halloc", "custom"])
+    p.add_argument("--strategy", default=None,
+                   choices=list(available_strategies()),
+                   help="consolidation strategy for the 'consolidated' "
+                        "variant (granularity of aggregation)")
     _add_scale(p)
 
     p = sub.add_parser("compile", help="print consolidated CUDA for an app")
     p.add_argument("app")
-    p.add_argument("--granularity", default=None,
-                   choices=["warp", "block", "grid"])
+    p.add_argument("--strategy", "--granularity", dest="strategy",
+                   default=None, choices=list(available_strategies()),
+                   help="consolidation strategy (default: the pragma's "
+                        "consldt clause)")
 
     p = sub.add_parser("cache", help="inspect or clear the result cache")
     p.add_argument("action", choices=["info", "clear"])
@@ -94,11 +104,15 @@ def main(argv=None) -> int:
 
     if args.command == "list":
         from .apps import all_apps
+        from .compiler.strategies import get_strategy
 
         print("benchmarks:")
         for app in all_apps():
             print(f"  {app.key:10s} {app.label}")
         print("figures:", ", ".join(FIGURES))
+        print("strategies:")
+        for name in available_strategies():
+            print(f"  {name:10s} {get_strategy(name).tradeoff}")
         return 0
 
     if args.command == "compile":
@@ -107,7 +121,7 @@ def main(argv=None) -> int:
 
         app = get_app(args.app)
         res = consolidate_source(app.annotated_source(),
-                                 granularity=args.granularity)
+                                 granularity=args.strategy)
         print(f"// {res.report.describe()}")
         print(res.source)
         return 0
@@ -117,10 +131,17 @@ def main(argv=None) -> int:
 
         app = get_app(args.app)
         t0 = time.time()
-        run = app.run(args.variant, scale=args.scale,
-                      allocator=args.allocator, verify=not args.no_verify)
+        try:
+            run = app.run(args.variant, scale=args.scale,
+                          allocator=args.allocator, verify=not args.no_verify,
+                          strategy=args.strategy)
+        except ValueError as exc:  # e.g. variant/strategy contradiction
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
         wall = time.time() - t0
-        print(f"{app.label} [{run.variant}] on {run.dataset} "
+        label = run.variant if run.strategy is None else \
+            f"{run.variant}:{run.strategy}"
+        print(f"{app.label} [{label}] on {run.dataset} "
               f"(verified={run.checked}, wall={wall:.1f}s)")
         if run.report is not None:
             print(f"  {run.report.describe()}")

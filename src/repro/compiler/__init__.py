@@ -16,4 +16,11 @@ from .consolidator import (  # noqa: F401
     consolidate_module,
 )
 from .parent_transform import transform_parent  # noqa: F401
-from .pipeline import consolidate_all, consolidate_source  # noqa: F401
+from .pipeline import GRANULARITIES, consolidate_all, consolidate_source  # noqa: F401
+from .strategies import (  # noqa: F401
+    ConsolidationStrategy,
+    available_strategies,
+    get_strategy,
+    register_strategy,
+    unregister_strategy,
+)

@@ -22,7 +22,6 @@ from typing import Optional
 
 from ..errors import TransformError
 from ..frontend.ast_nodes import (
-    Block,
     BuiltinVar,
     Call,
     Expr,
@@ -30,7 +29,6 @@ from ..frontend.ast_nodes import (
     Ident,
     IntLit,
     LaunchExpr,
-    Module,
     PragmaStmt,
     Stmt,
     walk,

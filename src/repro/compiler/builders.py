@@ -24,7 +24,6 @@ from ..frontend.ast_nodes import (
     LaunchExpr,
     Return,
     Stmt,
-    Type,
     VarDeclarator,
 )
 

@@ -74,8 +74,14 @@ class SubstituteBuiltins(Transformer):
         return node
 
 
-def consolidated_name(child_name: str, granularity: str) -> str:
-    return f"{child_name}_cons_{granularity}"
+def consolidated_name(child_name: str, strategy) -> str:
+    """Name of the drain kernel. ``strategy`` may be a strategy object
+    or a registered name; either way the strategy's ``consolidated_name``
+    hook (which subclasses may override) decides, so the child and
+    parent transforms always agree."""
+    from .strategies import get_strategy
+
+    return get_strategy(strategy).consolidated_name(child_name)
 
 
 def _forbid_syncthreads(body: Stmt, kind: str) -> None:
@@ -103,8 +109,14 @@ def _work_decls(tpl: TemplateInfo) -> list[Stmt]:
     return decls
 
 
-def make_consolidated_child(tpl: TemplateInfo, granularity: str) -> FunctionDef:
-    """Build the consolidated child kernel for a template."""
+def make_consolidated_child(tpl: TemplateInfo, strategy) -> FunctionDef:
+    """Build the consolidated child kernel for a template.
+
+    ``strategy`` is a :class:`~repro.compiler.strategies.base.
+    ConsolidationStrategy` (or a bare granularity name); the drain-loop
+    shape is decided by the child *kind*, so the strategy only
+    contributes the generated kernel's name.
+    """
     child = tpl.child
     body = clone(child.body)
     kind = tpl.child_kind
@@ -165,7 +177,7 @@ def make_consolidated_child(tpl: TemplateInfo, granularity: str) -> FunctionDef:
     params.append(Param("__dp_h", INT))
     params.append(Param("__dp_n", INT))
     return FunctionDef(
-        name=consolidated_name(child.name, granularity),
+        name=consolidated_name(child.name, strategy),
         ret_type=child.ret_type,
         params=params,
         body=Block(stmts),

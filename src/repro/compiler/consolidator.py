@@ -11,7 +11,7 @@ level's buffer.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace as dc_replace
+from dataclasses import dataclass, replace as dc_replace
 from typing import Optional
 
 from ..errors import TransformError
@@ -21,8 +21,8 @@ from ..frontend.unparser import unparse
 from ..sim.occupancy import LaunchConfig
 from ..sim.specs import DeviceSpec, K20C
 from .analysis import TemplateInfo, find_template
-from .child_transform import consolidated_name, make_consolidated_child
 from .parent_transform import transform_parent
+from .strategies import get_strategy
 
 
 @dataclass
@@ -74,23 +74,25 @@ def _config_from_directive(tpl: TemplateInfo, config: Optional[LaunchConfig],
     return LaunchConfig(mode="kc", threads=d.threads, spec=spec)
 
 
-def consolidate_module(module: Module, granularity: Optional[str] = None,
+def consolidate_module(module: Module, granularity=None,
                        config: Optional[LaunchConfig] = None,
                        parent: Optional[str] = None,
                        spec: DeviceSpec = K20C) -> ConsolidationResult:
     """Apply workload consolidation to a *freshly built* module.
 
-    The module is consumed (transformed in place and rebuilt); callers that
-    need several granularities of the same code should re-parse per call
+    ``granularity`` names a registered
+    :class:`~repro.compiler.strategies.base.ConsolidationStrategy` (or is
+    one); ``None`` uses the pragma's ``consldt`` clause. The module is
+    consumed (transformed in place and rebuilt); callers that need
+    several strategies applied to the same code should re-parse per call
     (see :func:`repro.compiler.pipeline.consolidate_source`).
     """
     info = check_module(module)
     tpl = find_template(info, parent)
-    gran = granularity or tpl.directive.granularity
-    if gran not in ("warp", "block", "grid"):
-        raise TransformError(f"unknown consolidation granularity {gran!r}")
+    strategy = get_strategy(granularity if granularity is not None
+                            else tpl.directive.granularity)
     cfg = _config_from_directive(tpl, config, spec)
-    cons_name = consolidated_name(tpl.child.name, gran)
+    cons_name = strategy.consolidated_name(tpl.child.name)
     for fn in module.functions():
         if fn.name == cons_name:
             raise TransformError(
@@ -98,15 +100,15 @@ def consolidate_module(module: Module, granularity: Optional[str] = None,
 
     if tpl.recursive:
         # phase 1 (child): clone the ORIGINAL body into the drain kernel
-        cons_child = make_consolidated_child(tpl, gran)
+        cons_child = strategy.build_child(tpl)
         # phase 2 (parent) on the original kernel
-        new_parent, post1 = transform_parent(tpl, gran, cfg, cons_name)
+        new_parent, post1 = transform_parent(tpl, strategy, cfg, cons_name)
         other = [d for d in module.decls
                  if not (isinstance(d, FunctionDef) and d.name == tpl.parent.name)]
         temp_module = Module(other + [new_parent, cons_child])
         temp_info = check_module(temp_module, allow_reserved=True)
         tpl2 = find_template(temp_info, parent_name=cons_name)
-        new_cons, post2 = transform_parent(tpl2, gran, cfg, cons_name)
+        new_cons, post2 = transform_parent(tpl2, strategy, cfg, cons_name)
         decls = [d for d in temp_module.decls
                  if not (isinstance(d, FunctionDef) and d.name == cons_name)]
         decls.append(new_cons)
@@ -116,8 +118,8 @@ def consolidate_module(module: Module, granularity: Optional[str] = None,
         postwork_name = post1.name if post1 else (post2.name if post2 else None)
         final = Module(decls)
     else:
-        cons_child = make_consolidated_child(tpl, gran)
-        new_parent, post = transform_parent(tpl, gran, cfg, cons_name)
+        cons_child = strategy.build_child(tpl)
+        new_parent, post = transform_parent(tpl, strategy, cfg, cons_name)
         decls = []
         for d in module.decls:
             if isinstance(d, FunctionDef) and d.name == tpl.parent.name:
@@ -133,9 +135,9 @@ def consolidate_module(module: Module, granularity: Optional[str] = None,
     final_info = check_module(final, allow_reserved=True)  # validate generated code
     static = None
     if cfg.mode != "one2one":
-        static = cfg.resolve(cfg.spec or spec, gran)
+        static = cfg.resolve(cfg.spec or spec, strategy.name)
     report = ConsolidationReport(
-        granularity=gran,
+        granularity=strategy.name,
         buffer_type=tpl.directive.buffer_type,
         parent_kernel=tpl.parent.name,
         child_kernel=tpl.child.name,

@@ -9,27 +9,29 @@ The five steps the paper lists:
 3. *replacement of the child kernel launch with buffer insertions* —
    the annotated launch statement becomes a ``__dp_buf_pushK`` of the
    work variables (plus the synthetic dim field for solo-block children);
-4. *insertion of the required barrier synchronization* — ``__syncwarp``
-   reconvergence for warp-level, ``__syncthreads`` for block-level, the
-   custom exit-style global barrier (``__dp_grid_arrive_last``) for
-   grid-level;
-5. *postwork transformation* — inline for warp/block level (with the
-   original ``cudaDeviceSynchronize`` re-inserted into the designated
-   launcher); consolidated into a separate kernel launched by the last
-   block for grid-level, duplicating the *pure* prework declarations the
-   postwork depends on (the paper's "duplicating in the postwork the
-   relevant portions of prework").
+4. *insertion of the required barrier synchronization* — owned by the
+   :class:`~repro.compiler.strategies.base.ConsolidationStrategy`
+   (``__syncwarp`` reconvergence for warp-level, ``__syncthreads`` for
+   block-level, the custom exit-style global barrier for grid-level);
+5. *postwork transformation* — inline for strategies that keep the parent
+   alive past the consolidated launch; consolidated into a separate
+   kernel launched by the last block for strategies with
+   ``consolidates_postwork`` (grid level), duplicating the *pure* prework
+   declarations the postwork depends on (the paper's "duplicating in the
+   postwork the relevant portions of prework").
+
+Everything granularity-specific is delegated to the strategy object;
+this module only orchestrates the steps.
 """
 
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Optional
+from typing import Optional, Union
 
 from ..errors import TransformError
 from ..frontend.ast_nodes import (
     Block,
-    BuiltinVar,
     Call,
     DeclStmt,
     Expr,
@@ -46,9 +48,8 @@ from ..frontend.ast_nodes import (
 )
 from ..frontend.pragma import PER_THREAD_WORK_CONST
 from ..sim.occupancy import LaunchConfig
-from .analysis import SOLO_BLOCK, SOLO_THREAD, TemplateInfo
+from .analysis import SOLO_THREAD, SOLO_BLOCK, TemplateInfo
 from .builders import (
-    assign_stmt,
     bin_,
     block,
     block_dim,
@@ -60,31 +61,25 @@ from .builders import (
     if_,
     intlit,
     launch,
-    ret,
-    thread_idx,
 )
-from .child_transform import SubstituteBuiltins
+from .strategies import ConsolidationStrategy, get_strategy
 
-GRAN_CODE = {"warp": 0, "block": 1, "grid": 2}
+StrategyLike = Union[str, ConsolidationStrategy]
 
 
 # --------------------------------------------------------------------------
 # buffer sizing (§IV.E "Buffer size for customized allocator")
 # --------------------------------------------------------------------------
 
-def slots_expr(tpl: TemplateInfo, granularity: str) -> Expr:
+def slots_expr(tpl: TemplateInfo, strategy: StrategyLike) -> Expr:
     """Per-buffer slot-count expression: ``totalThread * const`` where
-    ``const`` is the per-thread work estimate (or the user's
-    ``perBufferSize`` clause)."""
+    ``totalThread`` is the strategy's buffer-scope size and ``const`` the
+    per-thread work estimate (or the user's ``perBufferSize`` clause)."""
+    strategy = get_strategy(strategy)
     per = tpl.directive.per_buffer_size
     if isinstance(per, int):
         return intlit(per)
-    if granularity == "warp":
-        scope_threads: Expr = intlit(32)
-    elif granularity == "block":
-        scope_threads = block_dim()
-    else:
-        scope_threads = bin_("*", block_dim(), grid_dim())
+    scope_threads = strategy.scope_threads()
     if isinstance(per, str):
         # runtime variable indicating items per thread (§IV.E: "a property
         # of the current work item", e.g. the number of children of a node)
@@ -92,11 +87,12 @@ def slots_expr(tpl: TemplateInfo, granularity: str) -> Expr:
     return bin_("*", scope_threads, intlit(PER_THREAD_WORK_CONST))
 
 
-def acquire_expr(tpl: TemplateInfo, granularity: str) -> Expr:
+def acquire_expr(tpl: TemplateInfo, strategy: StrategyLike) -> Expr:
+    strategy = get_strategy(strategy)
     return call(
         "__dp_buf_acquire",
-        intlit(GRAN_CODE[granularity]),
-        slots_expr(tpl, granularity),
+        intlit(strategy.gran_code),
+        slots_expr(tpl, strategy),
         intlit(len(tpl.fields)),
     )
 
@@ -109,9 +105,9 @@ class _ReplaceLaunch(Transformer):
     """Swap the annotated launch statement for a buffer push, and unwrap
     the PragmaStmt marker."""
 
-    def __init__(self, tpl: TemplateInfo, granularity: str):
+    def __init__(self, tpl: TemplateInfo, strategy: ConsolidationStrategy):
         self.tpl = tpl
-        self.granularity = granularity
+        self.strategy = strategy
         self.replaced = 0
 
     def visit_PragmaStmt(self, node: PragmaStmt):
@@ -135,25 +131,26 @@ class _ReplaceLaunch(Transformer):
             )
         return call_stmt(
             f"__dp_buf_push{k}",
-            acquire_expr(tpl, self.granularity),
+            acquire_expr(tpl, self.strategy),
             *field_exprs,
         )
 
 
 # --------------------------------------------------------------------------
-# step 4/5: barrier + designated launcher (+ postwork)
+# step 4/5 support: the launcher statements every strategy guards
 # --------------------------------------------------------------------------
 
 def _consolidated_launch_stmt(tpl: TemplateInfo, cfg: LaunchConfig,
-                              granularity: str, cons_name: str) -> list[Stmt]:
+                              strategy: ConsolidationStrategy,
+                              cons_name: str) -> list[Stmt]:
     """``int __dp_n = __dp_buf_size(...); if (__dp_n > 0) cons<<<B,T>>>(...)``"""
     uniform_args = [clone(b.arg) for b in tpl.bindings if b.mode == "uniform"]
-    handle = acquire_expr(tpl, granularity)
+    handle = acquire_expr(tpl, strategy)
     stmts: list[Stmt] = [
         decl_int("__dp_hh", handle),
         decl_int("__dp_n", call("__dp_buf_size", ident("__dp_hh"))),
     ]
-    grid_e, block_e = _config_exprs(tpl, cfg, granularity)
+    grid_e, block_e = _config_exprs(tpl, cfg, strategy)
     launch_stmt = launch(cons_name, grid_e, block_e,
                          *(uniform_args + [ident("__dp_hh"), ident("__dp_n")]))
     body: list[Stmt] = [launch_stmt]
@@ -161,8 +158,8 @@ def _consolidated_launch_stmt(tpl: TemplateInfo, cfg: LaunchConfig,
     return stmts
 
 
-def _config_exprs(tpl: TemplateInfo, cfg: LaunchConfig, granularity: str
-                  ) -> tuple[Expr, Expr]:
+def _config_exprs(tpl: TemplateInfo, cfg: LaunchConfig,
+                  strategy: ConsolidationStrategy) -> tuple[Expr, Expr]:
     """Grid/block expressions for the consolidated launch."""
     from ..sim.specs import K20C  # default spec for static configs
 
@@ -182,7 +179,7 @@ def _config_exprs(tpl: TemplateInfo, cfg: LaunchConfig, granularity: str
                                     and tpl.dim_const is not None) else \
             (cfg.threads or 256)
         return ident("__dp_n"), intlit(threads)
-    blocks, threads = cfg.resolve(spec, granularity)
+    blocks, threads = cfg.resolve(spec, strategy.name)
     # moldable clamp: never launch more blocks than the drain loop can use
     # (item count for block-mapped children, ceil(n/T) for thread-mapped);
     # KC_X remains the *cap*, exactly the role §IV.E gives it
@@ -195,53 +192,8 @@ def _config_exprs(tpl: TemplateInfo, cfg: LaunchConfig, granularity: str
     return grid_e, intlit(threads)
 
 
-def _designated_section(tpl: TemplateInfo, cfg: LaunchConfig, granularity: str,
-                        cons_name: str, postwork_kernel: Optional[FunctionDef],
-                        need_sync: bool) -> list[Stmt]:
-    """The barrier + designated-thread launch sequence inserted after the
-    anchor statement."""
-    launcher = _consolidated_launch_stmt(tpl, cfg, granularity, cons_name)
-    if granularity == "warp":
-        body = list(launcher)
-        if need_sync:
-            body.append(call_stmt("cudaDeviceSynchronize"))
-        section: list[Stmt] = [
-            call_stmt("__syncwarp"),
-            if_(bin_("==", bin_("%", thread_idx(), intlit(32)), intlit(0)),
-                block(*body)),
-        ]
-        if need_sync:
-            section.append(call_stmt("__syncwarp"))
-        return section
-    if granularity == "block":
-        body = list(launcher)
-        if need_sync:
-            body.append(call_stmt("cudaDeviceSynchronize"))
-        section = [
-            call_stmt("__syncthreads"),
-            if_(bin_("==", thread_idx(), intlit(0)), block(*body)),
-        ]
-        if need_sync:
-            section.append(call_stmt("__syncthreads"))
-        return section
-    if granularity == "grid":
-        body = list(launcher)
-        if need_sync or postwork_kernel is not None:
-            body.append(call_stmt("cudaDeviceSynchronize"))
-        if postwork_kernel is not None:
-            body.append(launch(postwork_kernel.name, grid_dim(), block_dim(),
-                               *[ident(p.name) for p in postwork_kernel.params]))
-        section = [
-            call_stmt("__syncthreads"),
-            if_(bin_("==", thread_idx(), intlit(0)),
-                block(if_(call("__dp_grid_arrive_last"), block(*body)))),
-        ]
-        return section
-    raise TransformError(f"unknown granularity {granularity!r}")
-
-
 # --------------------------------------------------------------------------
-# grid-level postwork consolidation
+# postwork consolidation (strategies with consolidates_postwork)
 # --------------------------------------------------------------------------
 
 def _is_pure_expr(e: Expr) -> bool:
@@ -269,9 +221,10 @@ def _free_idents(stmts: list[Stmt], bound: set[str]) -> set[str]:
     return free
 
 
-def make_postwork_kernel(tpl: TemplateInfo, granularity: str) -> Optional[FunctionDef]:
-    """Consolidate grid-level postwork into its own kernel (§IV.C:
-    "we consolidate the postwork into a single kernel").
+def make_postwork_kernel(tpl: TemplateInfo,
+                         strategy: StrategyLike) -> Optional[FunctionDef]:
+    """Consolidate postwork into its own kernel (§IV.C: "we consolidate
+    the postwork into a single kernel").
 
     The kernel reuses the parent's parameters and duplicates the pure
     prework declarations the postwork depends on. Raises TransformError
@@ -281,6 +234,7 @@ def make_postwork_kernel(tpl: TemplateInfo, granularity: str) -> Optional[Functi
         return None
     from ..frontend.symbols import BUILTIN_CONSTANTS
 
+    strategy = get_strategy(strategy)
     parent = tpl.parent
     postwork = [clone(parent.body.stmts[i]) for i in tpl.postwork_indexes]
     param_names = {p.name for p in parent.params}
@@ -290,7 +244,6 @@ def make_postwork_kernel(tpl: TemplateInfo, granularity: str) -> Optional[Functi
 
     # collect pure top-level prework declarations, in order, that
     # (transitively) produce the needed names
-    decls: list[DeclStmt] = []
     produced: dict[str, tuple[DeclStmt, set[str]]] = {}
     for i in range(tpl.anchor_index):
         stmt = parent.body.stmts[i]
@@ -315,10 +268,10 @@ def make_postwork_kernel(tpl: TemplateInfo, granularity: str) -> Optional[Functi
             raise TransformError(f"cyclic prework dependency on {name!r}")
         if name not in produced:
             raise TransformError(
-                f"grid-level postwork depends on {name!r}, which is not a "
-                "pure top-level prework declaration; the transform cannot "
-                "duplicate it (paper §IV.C limits postwork dependencies to "
-                "duplicable prework)",
+                f"{strategy.name}-level postwork depends on {name!r}, which "
+                "is not a pure top-level prework declaration; the transform "
+                "cannot duplicate it (paper §IV.C limits postwork "
+                "dependencies to duplicable prework)",
                 tpl.pragma_stmt.loc,
             )
         _, deps = produced[name]
@@ -334,7 +287,7 @@ def make_postwork_kernel(tpl: TemplateInfo, granularity: str) -> Optional[Functi
     body_stmts: list[Stmt] = [clone(produced[name][0]) for name in ordered]
     body_stmts.extend(postwork)
     return FunctionDef(
-        name=f"{parent.name}_post_{granularity}",
+        name=strategy.postwork_name(parent.name),
         ret_type=parent.ret_type,
         params=[replace(p) for p in parent.params],
         body=Block(body_stmts),
@@ -347,22 +300,25 @@ def make_postwork_kernel(tpl: TemplateInfo, granularity: str) -> Optional[Functi
 # driver
 # --------------------------------------------------------------------------
 
-def transform_parent(tpl: TemplateInfo, granularity: str, cfg: LaunchConfig,
+def transform_parent(tpl: TemplateInfo, strategy: StrategyLike,
+                     cfg: LaunchConfig,
                      cons_name: str) -> tuple[FunctionDef, Optional[FunctionDef]]:
     """Apply the five parent-transformation steps; returns the rewritten
-    parent and (for grid level) the consolidated postwork kernel.
+    parent and (for postwork-consolidating strategies) the consolidated
+    postwork kernel.
 
     The template's module is consumed: callers transform a freshly parsed
     (or freshly built) module per consolidation, never a shared AST.
     """
+    strategy = get_strategy(strategy)
     parent = tpl.parent
     # postwork extraction must read the *original* body, before the launch
     # replacement rewrites it
     postwork_kernel = None
-    if granularity == "grid":
-        postwork_kernel = make_postwork_kernel(tpl, granularity)
+    if strategy.consolidates_postwork:
+        postwork_kernel = make_postwork_kernel(tpl, strategy)
 
-    replacer = _ReplaceLaunch(tpl, granularity)
+    replacer = _ReplaceLaunch(tpl, strategy)
     new_body: Block = replacer.visit(parent.body)
     if replacer.replaced != 1:
         raise TransformError(
@@ -371,9 +327,9 @@ def transform_parent(tpl: TemplateInfo, granularity: str, cfg: LaunchConfig,
         )
 
     stmts = list(new_body.stmts)
-    if granularity == "grid":
+    if strategy.consolidates_postwork:
         # drop postwork (and stray device-syncs) from the parent: the last
-        # block launches the consolidated postwork kernel instead
+        # scope launches the consolidated postwork kernel instead
         stmts = [s for i, s in enumerate(stmts) if i <= tpl.anchor_index]
     else:
         # drop top-level cudaDeviceSynchronize statements; the designated
@@ -381,9 +337,15 @@ def transform_parent(tpl: TemplateInfo, granularity: str, cfg: LaunchConfig,
         stmts = [s for i, s in enumerate(stmts)
                  if i <= tpl.anchor_index or not _is_devsync(s)]
 
-    section = _designated_section(tpl, cfg, granularity, cons_name,
-                                  postwork_kernel,
-                                  need_sync=tpl.had_device_sync)
+    launcher = _consolidated_launch_stmt(tpl, cfg, strategy, cons_name)
+    postwork_launch = None
+    if postwork_kernel is not None:
+        postwork_launch = launch(
+            postwork_kernel.name, grid_dim(), block_dim(),
+            *[ident(p.name) for p in postwork_kernel.params])
+    section = strategy.designated_section(launcher,
+                                          need_sync=tpl.had_device_sync,
+                                          postwork_launch=postwork_launch)
     insert_at = tpl.anchor_index + 1
     stmts[insert_at:insert_at] = section
     new_parent = FunctionDef(

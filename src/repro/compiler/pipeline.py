@@ -5,7 +5,10 @@ This is the user-facing equivalent of the paper's directive-based compiler
 frontend (:mod:`repro.frontend`, which parses MiniCUDA and its
 ``#pragma dp`` directives) and the simulator (:mod:`repro.sim`, which
 executes the generated code); README.md walks the whole pipeline and
-DESIGN.md §3-§4 document the transforms.
+DESIGN.md §3-§4 document the transforms. Which *aggregation granularity*
+is applied is decided by a pluggable
+:class:`~repro.compiler.strategies.base.ConsolidationStrategy`
+(DESIGN.md §10).
 
     >>> from repro.compiler import consolidate_source
     >>> result = consolidate_source(annotated_src, granularity="block")
@@ -13,8 +16,8 @@ DESIGN.md §3-§4 document the transforms.
     >>> print(result.report.describe())
 
 Each call re-parses the input so the same annotated source can be
-consolidated at every granularity independently. Compilation is pure and
-deterministic: the same (source, granularity, config, spec) inputs yield
+consolidated under every strategy independently. Compilation is pure and
+deterministic: the same (source, strategy, config, spec) inputs yield
 byte-identical output in any process. The experiment layer leans on this
 — consolidation happens *inside* each cached application run, so the
 work-plan scheduler (DESIGN.md §8) can fan runs across worker processes
@@ -29,21 +32,32 @@ from ..frontend.parser import parse
 from ..sim.occupancy import LaunchConfig
 from ..sim.specs import DeviceSpec, K20C
 from .consolidator import ConsolidationResult, consolidate_module
+from .strategies import available_strategies
 
+#: the paper's three granularities (the built-in strategies; plugins may
+#: register more — see :func:`available_strategies`)
 GRANULARITIES = ("warp", "block", "grid")
 
 
-def consolidate_source(source: str, granularity: Optional[str] = None,
+def consolidate_source(source: str, granularity=None,
                        config: Optional[LaunchConfig] = None,
                        parent: Optional[str] = None,
                        spec: DeviceSpec = K20C,
-                       filename: str = "<annotated>") -> ConsolidationResult:
-    """Consolidate annotated MiniCUDA source at one granularity.
+                       filename: str = "<annotated>",
+                       strategy=None) -> ConsolidationResult:
+    """Consolidate annotated MiniCUDA source under one strategy.
 
-    ``granularity`` overrides the pragma's ``consldt`` clause (the
-    experiments sweep all three); ``config`` overrides the kernel
-    configuration policy (KC_X by default).
+    ``granularity`` (alias ``strategy``) names a registered
+    consolidation strategy and overrides the pragma's ``consldt`` clause
+    (the experiments sweep all three built-ins); ``config`` overrides the
+    kernel configuration policy (KC_X by default).
     """
+    if strategy is not None:
+        if granularity is not None and granularity != strategy:
+            raise ValueError(
+                f"conflicting granularity={granularity!r} and "
+                f"strategy={strategy!r}")
+        granularity = strategy
     module = parse(source, filename)
     return consolidate_module(module, granularity=granularity, config=config,
                               parent=parent, spec=spec)
@@ -52,9 +66,10 @@ def consolidate_source(source: str, granularity: Optional[str] = None,
 def consolidate_all(source: str, config: Optional[LaunchConfig] = None,
                     parent: Optional[str] = None,
                     spec: DeviceSpec = K20C) -> dict[str, ConsolidationResult]:
-    """Consolidate at all three granularities; keys 'warp'/'block'/'grid'."""
+    """Consolidate under every registered strategy, keyed by name
+    (``'warp'``/``'block'``/``'grid'`` plus any registered plugins)."""
     return {
-        gran: consolidate_source(source, granularity=gran, config=config,
+        name: consolidate_source(source, granularity=name, config=config,
                                  parent=parent, spec=spec)
-        for gran in GRANULARITIES
+        for name in available_strategies()
     }

@@ -1,0 +1,104 @@
+"""Pluggable consolidation strategies (aggregation granularities).
+
+The paper consolidates child launches at warp, block, or grid scope;
+this package turns each scope into a :class:`ConsolidationStrategy`
+object and keeps them in a name-keyed registry, so the transforms in
+:mod:`repro.compiler` are granularity-agnostic and experiments can sweep
+the strategy axis (``repro run <app> consolidated --strategy <name>``,
+``repro granularity``). DESIGN.md §10 documents the layer.
+
+Registering a new strategy makes it reachable end-to-end — compiler,
+simulator, runner cache key, and CLI — without touching any of them::
+
+    from repro.compiler.strategies import (
+        ConsolidationStrategy, register_strategy)
+
+    class PairStrategy(WarpStrategy):       # e.g. a tuned warp variant
+        name = "warp-kc8"
+        kc_concurrency = 8
+
+    register_strategy(PairStrategy())
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from ...errors import TransformError
+from ...sim.dp import GRAN_NAMES
+from .base import ConsolidationStrategy
+from .block import BlockStrategy
+from .grid import GridStrategy
+from .warp import WarpStrategy
+
+__all__ = [
+    "ConsolidationStrategy",
+    "WarpStrategy",
+    "BlockStrategy",
+    "GridStrategy",
+    "available_strategies",
+    "get_strategy",
+    "register_strategy",
+    "unregister_strategy",
+    "BUILTIN_STRATEGIES",
+]
+
+#: name -> singleton; insertion order is the presentation order used by
+#: ``consolidate_all`` and the granularity ablation
+_REGISTRY: dict[str, ConsolidationStrategy] = {}
+
+
+def register_strategy(strategy: ConsolidationStrategy,
+                      replace: bool = False) -> ConsolidationStrategy:
+    """Add a strategy to the registry (validated); returns it."""
+    if not isinstance(strategy, ConsolidationStrategy):
+        raise TypeError(
+            f"expected a ConsolidationStrategy instance, got {strategy!r}")
+    if not strategy.name:
+        raise ValueError(f"{type(strategy).__name__} must define a name")
+    if strategy.gran_code not in GRAN_NAMES:
+        scopes = ", ".join(f"{c}={n}" for c, n in GRAN_NAMES.items())
+        raise ValueError(
+            f"strategy {strategy.name!r}: gran_code must be a buffer scope "
+            f"the runtime knows ({scopes}), got {strategy.gran_code}")
+    if strategy.kc_concurrency < 1:
+        raise ValueError(
+            f"strategy {strategy.name!r}: kc_concurrency must be >= 1")
+    if strategy.name in _REGISTRY and not replace:
+        raise ValueError(f"strategy {strategy.name!r} is already registered")
+    _REGISTRY[strategy.name] = strategy
+    return strategy
+
+
+def unregister_strategy(name: str) -> None:
+    """Remove a strategy (test/plugin cleanup). Built-ins may be removed
+    too; re-register them from the exported classes if needed."""
+    if name not in _REGISTRY:
+        raise KeyError(f"strategy {name!r} is not registered")
+    del _REGISTRY[name]
+
+
+def get_strategy(name: Union[str, ConsolidationStrategy]
+                 ) -> ConsolidationStrategy:
+    """Look up a strategy by name; instances pass through unchanged."""
+    if isinstance(name, ConsolidationStrategy):
+        return name
+    strategy = _REGISTRY.get(name)
+    if strategy is None:
+        raise TransformError(
+            f"unknown consolidation strategy {name!r}; "
+            f"available: {', '.join(available_strategies())}")
+    return strategy
+
+
+def available_strategies() -> tuple[str, ...]:
+    """Registered strategy names, in registration order."""
+    return tuple(_REGISTRY)
+
+
+register_strategy(WarpStrategy())
+register_strategy(BlockStrategy())
+register_strategy(GridStrategy())
+
+#: the paper's three granularities, as registered singletons
+BUILTIN_STRATEGIES = tuple(_REGISTRY.values())

@@ -1,0 +1,107 @@
+"""The :class:`ConsolidationStrategy` abstraction.
+
+A *strategy* owns every granularity-specific decision the consolidation
+compiler makes (Olabi et al., arXiv:2201.02789, generalize the paper's
+single aggregation granularity into exactly this design space):
+
+* the **buffer scope** — which threads share one consolidation buffer
+  (the ``__dp_buf_acquire`` scope code the runtime keys buffers by);
+* the **buffer sizing** term — how many threads contribute to one buffer
+  (§IV.E sizes buffers as ``scope threads x per-thread work estimate``);
+* the **designated-launcher section** — the barrier construct that makes
+  the buffer contents visible and the guard that elects the one thread
+  which launches the consolidated child (§IV.C step 4);
+* **postwork handling** — whether postwork stays inline in the parent or
+  is consolidated into a separate kernel launched by the last scope to
+  arrive (§IV.C step 5; only the grid strategy needs the latter);
+* the **kernel-configuration concurrency target** — the ``X`` in the
+  paper's ``KC_X`` rule (§IV.E), i.e. how many consolidated kernels are
+  expected to run concurrently at this granularity.
+
+Strategies are stateless singletons registered by name (see
+:mod:`repro.compiler.strategies`); the rest of the compiler only ever
+talks to this interface, so a new aggregation granularity is one new
+subclass plus ``register_strategy()`` — no transform code changes.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, TYPE_CHECKING
+
+from ...errors import TransformError
+from ...frontend.ast_nodes import Expr, ExprStmt, FunctionDef, Stmt
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from ..analysis import TemplateInfo
+
+
+class ConsolidationStrategy(abc.ABC):
+    """One aggregation granularity for workload consolidation.
+
+    Subclasses define the class attributes and the two codegen hooks;
+    instances are stateless and shared (the registry hands out
+    singletons).
+    """
+
+    #: registry key and name suffix of generated kernels ('warp', ...)
+    name: str = ""
+    #: buffer scope code passed to ``__dp_buf_acquire`` (see sim/dp.py)
+    gran_code: int = -1
+    #: the ``X`` of the paper's KC_X configuration rule for this scope
+    kc_concurrency: int = 1
+    #: whether postwork is consolidated into a separate kernel (§IV.C)
+    consolidates_postwork: bool = False
+    #: one-line launch-overhead / load-balance trade-off summary (docs,
+    #: ablation tables)
+    tradeoff: str = ""
+
+    # ------------------------------------------------------------- naming
+
+    def consolidated_name(self, child_name: str) -> str:
+        """Name of the consolidated (drain) kernel for a child kernel."""
+        return f"{child_name}_cons_{self.name}"
+
+    def postwork_name(self, parent_name: str) -> str:
+        return f"{parent_name}_post_{self.name}"
+
+    # ------------------------------------------------------------ codegen
+
+    @abc.abstractmethod
+    def scope_threads(self) -> Expr:
+        """Expression for the number of threads sharing one buffer
+        (the §IV.E ``totalThread`` term of the buffer-size prediction)."""
+
+    @abc.abstractmethod
+    def designated_section(self, launcher: list[Stmt], need_sync: bool,
+                           postwork_launch: Optional[ExprStmt]) -> list[Stmt]:
+        """Barrier + designated-launcher statements inserted after the
+        anchor statement of the parent (§IV.C steps 4-5).
+
+        ``launcher`` reads the buffer size and conditionally launches the
+        consolidated child; ``need_sync`` says the original parent joined
+        its children with ``cudaDeviceSynchronize``; ``postwork_launch``
+        is the launch of the consolidated postwork kernel, only ever
+        non-None for strategies with ``consolidates_postwork``.
+        """
+
+    def build_child(self, tpl: "TemplateInfo") -> FunctionDef:
+        """Build the consolidated child kernel (§IV.C phase 1). The
+        default drain-loop construction is shared by all granularities;
+        strategies may override to change the drain shape."""
+        from ..child_transform import make_consolidated_child
+
+        return make_consolidated_child(tpl, self)
+
+    # ----------------------------------------------------------- plumbing
+
+    def _reject_postwork(self, postwork_launch: Optional[ExprStmt]) -> None:
+        if postwork_launch is not None:
+            raise TransformError(
+                f"strategy {self.name!r} keeps postwork inline and cannot "
+                "emit a consolidated postwork launch"
+            )
+
+    def __repr__(self) -> str:
+        return (f"<{type(self).__name__} {self.name!r} "
+                f"scope={self.gran_code} KC_{self.kc_concurrency}>")

@@ -1,0 +1,44 @@
+"""Block-level consolidation: one buffer and one consolidated launch per
+thread block.
+
+The middle ground the paper defaults to for irregular loops: a
+``__syncthreads`` barrier makes every warp of the block wait for the
+slowest producer (a load-balance cost the simulator surfaces as barrier
+stall), in exchange for a B-fold reduction in launches and far fewer
+buffers than warp level. KC_16 expects up to 16 concurrent drain
+kernels.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...frontend.ast_nodes import Expr, ExprStmt, Stmt
+from ..builders import bin_, block, block_dim, call_stmt, if_, intlit, thread_idx
+from ...sim.dp import GRAN_BLOCK
+from .base import ConsolidationStrategy
+
+
+class BlockStrategy(ConsolidationStrategy):
+    name = "block"
+    gran_code = GRAN_BLOCK
+    kc_concurrency = 16
+    tradeoff = ("B-fold launch reduction and few buffers; __syncthreads "
+                "makes the block wait for its slowest warp")
+
+    def scope_threads(self) -> Expr:
+        return block_dim()
+
+    def designated_section(self, launcher: list[Stmt], need_sync: bool,
+                           postwork_launch: Optional[ExprStmt]) -> list[Stmt]:
+        self._reject_postwork(postwork_launch)
+        body = list(launcher)
+        if need_sync:
+            body.append(call_stmt("cudaDeviceSynchronize"))
+        section: list[Stmt] = [
+            call_stmt("__syncthreads"),
+            if_(bin_("==", thread_idx(), intlit(0)), block(*body)),
+        ]
+        if need_sync:
+            section.append(call_stmt("__syncthreads"))
+        return section

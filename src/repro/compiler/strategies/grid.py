@@ -1,0 +1,56 @@
+"""Grid-level consolidation: a single buffer and a single consolidated
+launch for the whole parent grid.
+
+Maximum aggregation — the launch overhead all but disappears and the one
+drain kernel can be configured to own the entire device (KC_1) — at the
+price of the custom exit-style global barrier (``__dp_grid_arrive_last``)
+and the longest wait: no child work starts until the *last* parent block
+arrives. Postwork cannot stay inline (most parent blocks have exited by
+then), so it is consolidated into a separate kernel launched by the last
+block (§IV.C step 5).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...frontend.ast_nodes import Expr, ExprStmt, Stmt
+from ..builders import (
+    bin_,
+    block,
+    block_dim,
+    call,
+    call_stmt,
+    grid_dim,
+    if_,
+    intlit,
+    thread_idx,
+)
+from ...sim.dp import GRAN_GRID
+from .base import ConsolidationStrategy
+
+
+class GridStrategy(ConsolidationStrategy):
+    name = "grid"
+    gran_code = GRAN_GRID
+    kc_concurrency = 1
+    consolidates_postwork = True
+    tradeoff = ("maximum aggregation, one drain kernel owns the device; "
+                "global barrier delays children until the last parent "
+                "block, postwork moves to a separate kernel")
+
+    def scope_threads(self) -> Expr:
+        return bin_("*", block_dim(), grid_dim())
+
+    def designated_section(self, launcher: list[Stmt], need_sync: bool,
+                           postwork_launch: Optional[ExprStmt]) -> list[Stmt]:
+        body = list(launcher)
+        if need_sync or postwork_launch is not None:
+            body.append(call_stmt("cudaDeviceSynchronize"))
+        if postwork_launch is not None:
+            body.append(postwork_launch)
+        return [
+            call_stmt("__syncthreads"),
+            if_(bin_("==", thread_idx(), intlit(0)),
+                block(if_(call("__dp_grid_arrive_last"), block(*body)))),
+        ]

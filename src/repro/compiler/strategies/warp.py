@@ -1,0 +1,50 @@
+"""Warp-level consolidation: one buffer and one consolidated launch per
+warp.
+
+Cheapest barrier (``__syncwarp`` reconvergence — lanes of a warp are
+already lockstep) and the shortest wait before the consolidated child can
+start, but the smallest aggregation factor: with W resident warps the
+device still sees W consolidated launches, and the many small buffers
+stress the device-heap allocator (exactly what the paper's Fig. 5
+measures). KC_32 expects up to 32 of these kernels to run concurrently.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...frontend.ast_nodes import Expr, ExprStmt, Stmt
+from ..builders import bin_, block, call_stmt, if_, intlit, thread_idx
+from ...sim.dp import GRAN_WARP
+from .base import ConsolidationStrategy
+
+#: SIMT width assumed by the generated lane-0 guard (matches every spec
+#: the simulator ships; a non-32-wide device would need a new strategy)
+WARP_WIDTH = 32
+
+
+class WarpStrategy(ConsolidationStrategy):
+    name = "warp"
+    gran_code = GRAN_WARP
+    kc_concurrency = 32
+    tradeoff = ("lowest launch wait, cheapest barrier; smallest "
+                "aggregation factor and most buffers (allocator-bound)")
+
+    def scope_threads(self) -> Expr:
+        return intlit(WARP_WIDTH)
+
+    def designated_section(self, launcher: list[Stmt], need_sync: bool,
+                           postwork_launch: Optional[ExprStmt]) -> list[Stmt]:
+        self._reject_postwork(postwork_launch)
+        body = list(launcher)
+        if need_sync:
+            body.append(call_stmt("cudaDeviceSynchronize"))
+        lane0 = bin_("==", bin_("%", thread_idx(), intlit(WARP_WIDTH)),
+                     intlit(0))
+        section: list[Stmt] = [
+            call_stmt("__syncwarp"),
+            if_(lane0, block(*body)),
+        ]
+        if need_sync:
+            section.append(call_stmt("__syncwarp"))
+        return section

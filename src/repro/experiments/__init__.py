@@ -23,6 +23,7 @@ cache they render without triggering a single simulation.
 """
 
 from . import (  # noqa: F401
+    ablation_granularity,
     ablation_threshold,
     fig5_allocators,
     fig6_kernel_config,
@@ -36,7 +37,10 @@ from .reporting import PaperClaim, Table, bar_chart, geomean  # noqa: F401
 from .runner import ExperimentRunner, RunStats  # noqa: F401
 from .store import ResultStore, default_cache_dir  # noqa: F401
 
-#: figure id -> module (used by the CLI and the benchmark harness)
+#: figure id -> module (used by the CLI and the benchmark harness).
+#: 'granularity' is the strategy ablation — not a paper figure, but it
+#: rides along with `repro all` for free: its runs canonicalize onto the
+#: same cache entries Figs. 7-10 already need.
 FIGURES = {
     "fig5": fig5_allocators,
     "fig6": fig6_kernel_config,
@@ -44,6 +48,7 @@ FIGURES = {
     "fig8": fig8_warp_efficiency,
     "fig9": fig9_occupancy,
     "fig10": fig10_dram,
+    "granularity": ablation_granularity,
 }
 
 

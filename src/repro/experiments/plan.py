@@ -31,6 +31,12 @@ class RunSpec:
     :class:`LaunchConfig` (the spec field is supplied by the runner);
     ``cost`` / ``threshold`` of ``None`` mean "the runner's / the app's
     default" and are filled in by the runner when the spec is resolved.
+    ``strategy`` names a registered consolidation strategy for the
+    ``'consolidated'`` variant; the runner canonicalizes built-in
+    strategies onto their legacy per-granularity variants
+    (:func:`repro.apps.common.canonicalize_variant`), so
+    ``('consolidated', strategy='warp')`` and ``('warp-level', None)``
+    share one cache entry.
     """
 
     app: str
@@ -40,6 +46,7 @@ class RunSpec:
     dataset: Optional[str] = None
     cost: Optional[CostModel] = None
     threshold: Optional[int] = None
+    strategy: Optional[str] = None
 
     @staticmethod
     def config_key(config: Optional[LaunchConfig]) -> Optional[tuple]:

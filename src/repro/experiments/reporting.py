@@ -9,7 +9,7 @@ EXPERIMENTS.md can be regenerated mechanically.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Sequence
 
 
 @dataclass
@@ -57,7 +57,7 @@ def bar_chart(labels: Sequence[str], values: Sequence[float], width: int = 46,
         return "(no data)"
     vmax = max(values)
     lines = []
-    lab_w = max(len(l) for l in labels)
+    lab_w = max(len(lab) for lab in labels)
     for label, value in zip(labels, values):
         if log:
             frac = (math.log10(max(value, 1e-9)) - min(0.0, 0.0)) / max(

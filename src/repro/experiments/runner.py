@@ -75,6 +75,7 @@ def _execute(spec: RunSpec, dataset, device_spec: DeviceSpec,
         cost=spec.cost,
         verify=verify,
         threshold=spec.threshold,
+        strategy=spec.strategy,
     )
 
 
@@ -148,12 +149,17 @@ class ExperimentRunner:
 
     def _resolve(self, spec: RunSpec) -> RunSpec:
         """Fill runner/app defaults so the spec fully determines the run."""
+        from ..apps.common import canonicalize_variant
+
+        variant, strategy = canonicalize_variant(spec.variant, spec.strategy)
         cost = spec.cost if spec.cost is not None else self.cost
         threshold = (spec.threshold if spec.threshold is not None
                      else get_app(spec.app).threshold)
-        if cost is spec.cost and threshold == spec.threshold:
+        if (cost is spec.cost and threshold == spec.threshold
+                and variant == spec.variant and strategy == spec.strategy):
             return spec
-        return replace(spec, cost=cost, threshold=threshold)
+        return replace(spec, variant=variant, strategy=strategy,
+                       cost=cost, threshold=threshold)
 
     def _content_key(self, resolved: RunSpec) -> str:
         from .. import __version__
@@ -169,6 +175,7 @@ class ExperimentRunner:
             threshold=resolved.threshold,
             verify=self.verify,
             version=__version__,
+            strategy=resolved.strategy,
         )
 
     # -- execution ------------------------------------------------------------
@@ -208,11 +215,12 @@ class ExperimentRunner:
             config: Optional[LaunchConfig] = None,
             dataset_name: Optional[str] = None,
             cost: Optional[CostModel] = None,
-            threshold: Optional[int] = None) -> AppRun:
+            threshold: Optional[int] = None,
+            strategy: Optional[str] = None) -> AppRun:
         return self.run_spec(RunSpec(
             app=app_key, variant=variant, allocator=allocator,
             config=RunSpec.config_key(config), dataset=dataset_name,
-            cost=cost, threshold=threshold,
+            cost=cost, threshold=threshold, strategy=strategy,
         ))
 
     def prefetch(self, specs: Iterable[RunSpec],

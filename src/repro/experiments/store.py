@@ -34,7 +34,8 @@ from typing import Optional
 import numpy as np
 
 #: bump to invalidate every existing cache entry on a format change
-STORE_FORMAT = 1
+#: (2: strategy axis added to the key payload, RunMetrics gained fields)
+STORE_FORMAT = 2
 
 #: environment variable overriding the default cache directory
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -75,13 +76,20 @@ def dataset_fingerprint(dataset) -> str:
 def run_key(*, app: str, variant: str, allocator: str,
             config: Optional[tuple], dataset_fp: str,
             cost, spec, threshold: int, verify: bool,
-            version: str) -> str:
-    """Stable content address for one application run."""
+            version: str, strategy: Optional[str] = None) -> str:
+    """Stable content address for one application run.
+
+    ``strategy`` is the consolidation-strategy axis; it is ``None`` for
+    the built-in granularities (their canonical spelling is the variant
+    itself) and a registry name for plugin strategies running under the
+    ``'consolidated'`` variant.
+    """
     payload = {
         "format": STORE_FORMAT,
         "version": version,
         "app": app,
         "variant": variant,
+        "strategy": strategy,
         "allocator": allocator,
         "config": list(config) if config is not None else None,
         "dataset": dataset_fp,
@@ -95,11 +103,16 @@ def run_key(*, app: str, variant: str, allocator: str,
 
 
 class ResultStore:
-    """Filesystem-backed map from content address to pickled AppRun."""
+    """Filesystem-backed map from content address to pickled AppRun.
+
+    The store directory is created lazily, on the first :meth:`put` —
+    read-only operations (``repro cache info`` on a directory that does
+    not exist yet, lookups against an empty cache) simply report an
+    empty store instead of touching the filesystem or raising.
+    """
 
     def __init__(self, root: Path | str):
         self.root = Path(root)
-        self.root.mkdir(parents=True, exist_ok=True)
 
     def path_for(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.pkl"

@@ -2,11 +2,11 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from ..errors import TypeCheckError
-from .ast_nodes import BOOL, FLOAT, INT, Type, UINT, VOID
+from .ast_nodes import FLOAT, INT, Type, UINT, VOID
 
 
 @dataclass

@@ -59,7 +59,6 @@ from .ast_nodes import (
     UnOp,
     VarDeclarator,
     While,
-    walk,
     BOOL,
     FLOAT,
     INT,

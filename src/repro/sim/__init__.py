@@ -8,6 +8,7 @@ from .occupancy import (  # noqa: F401
     KC_FOR_GRANULARITY,
     LaunchConfig,
     kc_config,
+    kc_for,
     occupancy_config,
     theoretical_occupancy,
 )

@@ -29,8 +29,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
 from ..errors import SimulationError
 from .memory import DeviceArray, GlobalMemory
 
@@ -50,6 +48,9 @@ class ConsolidationBuffer:
     nvars: int
     capacity: int  # slots
     storage: DeviceArray
+    #: buffer scope code (GRAN_WARP/GRAN_BLOCK/GRAN_GRID) — drives the
+    #: per-scope push-contention price and the per-scope stats
+    gran: int = GRAN_BLOCK
     count: int = 0
     overflows: int = 0
 
@@ -65,6 +66,12 @@ class DPStats:
     buffer_grows: int = 0
     barrier_arrivals: int = 0
     max_depth: int = 0
+    #: scope name ('warp'/'block'/'grid') -> push count; shows which
+    #: granularity's buffers carried the run's delegated work
+    pushes_by_scope: dict = field(default_factory=dict)
+    #: scope name -> buffers acquired (warp-level acquires many small
+    #: buffers, grid-level exactly one per kernel instance)
+    buffers_by_scope: dict = field(default_factory=dict)
 
 
 class DPRuntime:
@@ -110,10 +117,24 @@ class DPRuntime:
         # price includes the heap-lock convoy behind earlier allocations
         cycles = self.allocator.charge_cycles()
         storage = self._alloc_storage(slots, nvars, handle)
-        self.buffers[handle] = ConsolidationBuffer(handle, nvars, slots, storage)
+        self.buffers[handle] = ConsolidationBuffer(handle, nvars, slots,
+                                                   storage, gran=gran)
         self._scope_handles[key] = handle
         self.stats.buffers_acquired += 1
+        scope = GRAN_NAMES[gran]
+        self.stats.buffers_by_scope[scope] = \
+            self.stats.buffers_by_scope.get(scope, 0) + 1
         return handle, cycles
+
+    def _push_conflict(self, gran: int) -> int:
+        """Expected insertion-counter contention for one push: the wider
+        the buffer scope, the more threads race on the shared counter
+        (the buffering half of the granularity trade-off)."""
+        if gran == GRAN_WARP:
+            return self.cost.push_conflict_warp
+        if gran == GRAN_BLOCK:
+            return self.cost.push_conflict_block
+        return self.cost.push_conflict_grid
 
     def _buffer(self, handle: int) -> ConsolidationBuffer:
         buf = self.buffers.get(int(handle))
@@ -131,7 +152,8 @@ class DPRuntime:
                 f"{buf.nvars}-field buffer"
             )
         slot = buf.count
-        cycles = self.cost.atomic_cycles + self.cost.buffer_push_cycles
+        cycles = (self.cost.atomic_cycles * self._push_conflict(buf.gran)
+                  + self.cost.buffer_push_cycles)
         if slot >= buf.capacity:
             cycles += self._grow(buf)
         base = slot * buf.nvars
@@ -140,6 +162,9 @@ class DPRuntime:
             data[base + f] = int(v)
         buf.count = slot + 1
         self.stats.pushes += 1
+        scope = GRAN_NAMES[buf.gran]
+        self.stats.pushes_by_scope[scope] = \
+            self.stats.pushes_by_scope.get(scope, 0) + 1
         # price the stores (and the count atomic) through the memory system
         seg_bytes = self.spec.dram_segment_bytes
         addr0 = buf.storage.addr_of(base)

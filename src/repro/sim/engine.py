@@ -27,7 +27,6 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from ..errors import SimulationError
-from .coalesce import coalesce
 from .events import ATOM, DEVSYNC, INTR, LAUNCH, LD, ST, SYNC, WSYNC, ThreadCtx
 from .memory import DeviceArray
 
@@ -61,6 +60,13 @@ class BlockTrace:
     #: total warp-rounds and active-lane-rounds for warp-efficiency
     warp_steps: int = 0
     active_lane_steps: int = 0
+    #: warp-cycles spent waiting at __syncthreads for the block's slowest
+    #: warp (summed over releases). This is the *load-imbalance* price of
+    #: block-wide aggregation barriers: block- and grid-level
+    #: consolidation insert a __syncthreads before the designated launch,
+    #: so an uneven push workload shows up here (DESIGN.md §10). Measured
+    #: only — the lockstep cycle accounting is unchanged.
+    barrier_stall_cycles: int = 0
 
     @property
     def cycles(self) -> int:
@@ -219,8 +225,13 @@ class FunctionalEngine:
             if done_warps == len(warps):
                 break
             if barrier_waiters + done_warps == len(warps) and barrier_waiters:
-                # release the block barrier
+                # release the block barrier; warps that arrived early have
+                # been stalling since their own arrival cycle — attribute
+                # the gap to the release point (the slowest warp)
+                mark = max(w.cycles for w in warps)
                 for warp in warps:
+                    if any(st == _AT_BARRIER for st in warp.states):
+                        trace.barrier_stall_cycles += mark - warp.cycles
                     for i, st in enumerate(warp.states):
                         if st == _AT_BARRIER:
                             warp.states[i] = _RUNNING

@@ -22,7 +22,27 @@ from .specs import DeviceSpec
 DEFAULT_BLOCK_THREADS = 256
 
 #: paper §IV.E defaults: granularity -> kernel-concurrency target X
+#: (the built-in strategies; registry-defined strategies carry their own
+#: ``kc_concurrency`` and are resolved through :func:`kc_for`)
 KC_FOR_GRANULARITY = {"grid": 1, "block": 16, "warp": 32}
+
+
+def kc_for(granularity: str) -> int:
+    """Kernel-concurrency target ``X`` for a consolidation strategy.
+
+    The strategy registry is the source of truth (imported lazily — the
+    compiler depends on the simulator, not vice versa), so a builtin
+    replaced via ``register_strategy(..., replace=True)`` carries its own
+    ``kc_concurrency``; :data:`KC_FOR_GRANULARITY` is the fallback for
+    names not currently registered."""
+    from ..errors import TransformError
+
+    try:
+        from ..compiler.strategies import get_strategy
+
+        return get_strategy(granularity).kc_concurrency
+    except (ImportError, TransformError):
+        return KC_FOR_GRANULARITY[granularity]
 
 
 def blocks_per_sm(spec: DeviceSpec, threads_per_block: int) -> int:
@@ -96,8 +116,7 @@ class LaunchConfig:
         if self.mode == "one2one":
             return None, threads
         if self.mode == "kc":
-            concurrency = KC_FOR_GRANULARITY[granularity]
-            blocks, threads = kc_config(spec, concurrency, threads)
+            blocks, threads = kc_config(spec, kc_for(granularity), threads)
             return blocks, threads
         raise ValueError(f"unknown launch-config mode {self.mode!r}")
 

@@ -39,6 +39,14 @@ class RunMetrics:
     buffers_acquired: int = 0
     buffer_pushes: int = 0
     buffer_grows: int = 0
+    #: buffer scope name -> pushes / buffers (the strategy axis: warp-level
+    #: runs show many buffers with few pushes each, grid-level one buffer)
+    buffer_pushes_by_scope: dict = field(default_factory=dict)
+    buffers_by_scope: dict = field(default_factory=dict)
+    #: warp-cycles lost waiting at __syncthreads for the slowest warp of
+    #: a block — the load-imbalance cost of block-wide aggregation
+    #: barriers (summed over all executed blocks; measured, not charged)
+    barrier_stall_cycles: int = 0
     #: allocator counters
     allocator_kind: str = ""
     allocator_allocs: int = 0
@@ -69,6 +77,7 @@ class RunMetrics:
             f"pending pool           : max={self.max_pending_kernels} "
             f"virtualized={self.virtual_pool_kernels}",
             f"parent swaps           : {self.parent_swaps}",
+            f"barrier stall cycles   : {self.barrier_stall_cycles:,}",
             f"allocator[{self.allocator_kind}]  : allocs={self.allocator_allocs} "
             f"cycles={self.allocator_cycles:,}",
         ]
@@ -81,12 +90,14 @@ def collect_metrics(roots: list[KernelInstance], timing: TimingResult,
     warp_steps = 0
     active_steps = 0
     instances = 0
+    barrier_stall = 0
     for root in roots:
         for inst in root.subtree():
             instances += 1
             for trace in inst.blocks:
                 warp_steps += trace.warp_steps
                 active_steps += trace.active_lane_steps
+                barrier_stall += trace.barrier_stall_cycles
     wee = active_steps / (warp_steps * 32) if warp_steps else 0.0
     counters = memsys.counters
     return RunMetrics(
@@ -107,6 +118,9 @@ def collect_metrics(roots: list[KernelInstance], timing: TimingResult,
         buffers_acquired=dp_stats.buffers_acquired,
         buffer_pushes=dp_stats.pushes,
         buffer_grows=dp_stats.buffer_grows,
+        buffer_pushes_by_scope=dict(dp_stats.pushes_by_scope),
+        buffers_by_scope=dict(dp_stats.buffers_by_scope),
+        barrier_stall_cycles=barrier_stall,
         allocator_kind=allocator.kind,
         allocator_allocs=allocator.stats.allocs,
         allocator_cycles=allocator.stats.cycles,

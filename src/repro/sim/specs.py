@@ -13,7 +13,7 @@ it is responsible for.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 
 @dataclass(frozen=True)
@@ -154,6 +154,17 @@ class CostModel:
     buffer_push_cycles: int = 4
     #: cycles for the custom global barrier arrive (atomic + flag read)
     global_barrier_cycles: int = 60
+    #: expected insertion-counter contention per buffer push, by buffer
+    #: scope. A naive push implementation would contend harder the wider
+    #: the scope (warp counter < block counter < device-wide counter),
+    #: but production consolidators warp-aggregate the counter atomic
+    #: (one reservation per warp), which makes contention roughly
+    #: scope-independent — hence calibrated parity defaults. The knobs
+    #: let the granularity ablation explore the un-aggregated regime,
+    #: where wide scopes pay for their shared counter (DESIGN.md §10).
+    push_conflict_warp: int = 1
+    push_conflict_block: int = 1
+    push_conflict_grid: int = 1
 
     def scaled(self, **overrides) -> "CostModel":
         """Return a copy with some constants overridden (ablation studies)."""

@@ -15,7 +15,6 @@ the serialized dispatcher versus a handful of consolidated launches.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 from .engine import KernelInstance
 from .specs import CostModel, DeviceSpec

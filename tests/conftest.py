@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.sim.device import Device
-from repro.sim.specs import CostModel, K20C, TINY
+from repro.sim.specs import TINY
 
 
 @pytest.fixture

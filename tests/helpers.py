@@ -2,9 +2,31 @@
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.sim.device import Device
+
+
+#: binary operators that are total over int (no /, % — divide-by-zero)
+FUZZ_BINOPS = ("+", "-", "*", "&", "|", "^")
+
+
+def minicuda_expr(atoms, binops: tuple = FUZZ_BINOPS, max_leaves: int = 6):
+    """Hypothesis strategy for random, well-formed MiniCUDA int
+    expressions over the given atom spellings.
+
+    Shared by the frontend round-trip fuzzing (test_fuzz_programs) and
+    the strategy semantic-preservation property test (test_strategies),
+    so both shake the same expression space."""
+    from hypothesis import strategies as st
+
+    atom = st.one_of(st.integers(min_value=0, max_value=64).map(str),
+                     st.sampled_from(list(atoms)))
+    ops = st.sampled_from(list(binops))
+
+    def combine(children):
+        return st.builds(lambda a, op, b: f"({a} {op} {b})", children, ops,
+                         children)
+
+    return st.recursive(atom, combine, max_leaves=max_leaves)
 
 
 def run_kernel(src: str, kernel: str, grid: int, block: int, arrays: dict,

@@ -6,7 +6,6 @@ from repro.compiler.analysis import (
     MULTI_BLOCK,
     SOLO_BLOCK,
     SOLO_THREAD,
-    classify_child,
     expr_is_uniform,
     find_template,
 )

@@ -6,9 +6,7 @@ from hypothesis import given, strategies as st
 from repro.frontend.ast_nodes import (
     BinOp,
     Block,
-    ExprStmt,
     Ident,
-    If,
     IntLit,
     Transformer,
     Type,

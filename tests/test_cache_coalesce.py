@@ -1,11 +1,10 @@
 """Coalescing and L2/DRAM accounting tests."""
 
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.sim.cache import L2Cache, MemorySystem
 from repro.sim.coalesce import coalesce, transactions_for
-from repro.sim.specs import CostModel, K20C, TINY
+from repro.sim.specs import CostModel, TINY
 
 
 class TestCoalesce:

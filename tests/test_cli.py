@@ -16,6 +16,30 @@ class TestCli:
         out = capsys.readouterr().out
         assert "sssp_child_cons_warp" in out
 
+    def test_compile_strategy_flag(self, capsys):
+        assert main(["compile", "sssp", "--strategy", "grid"]) == 0
+        out = capsys.readouterr().out
+        assert "sssp_child_cons_grid" in out
+
+    def test_run_with_strategy(self, capsys):
+        assert main(["run", "spmv", "consolidated", "--strategy", "block",
+                     "--scale", "0.15"]) == 0
+        out = capsys.readouterr().out
+        # built-in strategies canonicalize onto their legacy variant label
+        assert "block-level" in out
+        assert "verified=True" in out
+
+    def test_run_conflicting_strategy_errors(self, capsys):
+        assert main(["run", "spmv", "warp-level", "--strategy", "grid",
+                     "--scale", "0.15"]) == 2
+        assert "contradicts" in capsys.readouterr().err
+
+    def test_granularity_ablation_command(self, capsys):
+        assert main(["granularity", "--scale", "0.15", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "Ablation — consolidation strategy" in out
+        assert "warp (x)" in out and "grid (x)" in out
+
     def test_run_variant(self, capsys):
         assert main(["run", "spmv", "grid-level", "--scale", "0.15"]) == 0
         out = capsys.readouterr().out

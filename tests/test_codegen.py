@@ -9,7 +9,6 @@ from repro.errors import CodegenError
 from repro.frontend.parser import parse
 from repro.frontend.typecheck import check_module
 from repro.backend.codegen import compile_module, generate_module_source
-from repro.sim.device import Device
 
 from tests.helpers import run_kernel
 

@@ -6,7 +6,7 @@ import pytest
 
 from repro.compiler import consolidate_source
 from repro.errors import TransformError
-from repro.frontend.ast_nodes import Call, ExprStmt, If, LaunchExpr, walk
+from repro.frontend.ast_nodes import Call, LaunchExpr, walk
 from repro.frontend.parser import parse
 
 SOLO_BLOCK_SRC = """
@@ -129,7 +129,6 @@ class TestGeneratedStructure:
 class TestChildKinds:
     def test_solo_thread_grid_stride_drain(self):
         res = consolidate_source(SOLO_THREAD_SRC)
-        cons = res.module.function("child_cons_block")
         text = res.source
         assert "blockIdx.x * blockDim.x + threadIdx.x" in text
         assert "gridDim.x * blockDim.x" in text
@@ -145,7 +144,6 @@ class TestChildKinds:
     def test_multi_block_item_loop(self):
         res = consolidate_source(MULTI_BLOCK_SRC)
         assert res.report.child_kind == "multi_block"
-        cons = res.module.function("child_cons_grid")
         # outer item loop from 0 with stride 1
         assert "for (int __dp_s = 0; __dp_s < __dp_n; __dp_s += 1)" in res.source
 
@@ -184,7 +182,7 @@ class TestRecursion:
     def test_host_facing_kernel_launches_consolidated(self):
         res = consolidate_source(self.REC)
         launches = launches_in(res.module, "r")
-        assert [l.callee for l in launches] == ["r_cons_grid"]
+        assert [ln.callee for ln in launches] == ["r_cons_grid"]
 
     def test_both_push(self):
         res = consolidate_source(self.REC)
@@ -223,7 +221,6 @@ class TestPostwork:
         assert "parent_post_grid" in names
         assert res.report.postwork_kernel == "parent_post_grid"
         # postwork kernel re-derives `u` from the duplicated pure decl
-        post = res.module.function("parent_post_grid")
         assert "blockIdx.x * blockDim.x + threadIdx.x" in res.source
 
     def test_grid_parent_has_no_inline_postwork(self):
@@ -233,7 +230,7 @@ class TestPostwork:
     def test_last_block_launches_postwork_after_sync(self):
         res = consolidate_source(self.POST, granularity="grid")
         launches = launches_in(res.module, "parent")
-        assert [l.callee for l in launches] == ["child_cons_grid",
+        assert [ln.callee for ln in launches] == ["child_cons_grid",
                                                 "parent_post_grid"]
         assert calls_in(res.module, "parent", "cudaDeviceSynchronize")
 

@@ -5,8 +5,6 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.data import (
-    Graph,
-    Tree,
     citeseer_like,
     kron_like,
     tree_dataset1,

@@ -6,7 +6,6 @@ import pytest
 
 from repro.errors import SimulationError
 from repro.sim.device import Device
-from repro.sim.specs import TINY
 
 from tests.helpers import run_kernel
 

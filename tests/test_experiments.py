@@ -9,7 +9,6 @@ from repro.experiments import (
     fig5_allocators,
     fig7_overall,
     fig8_warp_efficiency,
-    fig9_occupancy,
     fig10_dram,
 )
 from repro.experiments.reporting import PaperClaim, Table, bar_chart, geomean
@@ -122,7 +121,7 @@ class TestFigures:
 
     def test_all_figures_registered(self):
         assert set(FIGURES) == {"fig5", "fig6", "fig7", "fig8", "fig9",
-                                "fig10"}
+                                "fig10", "granularity"}
 
     def test_fig_main_renders(self, runner):
         text = fig5_allocators.main(runner)

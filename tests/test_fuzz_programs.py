@@ -20,23 +20,12 @@ from repro.frontend.typecheck import check_module
 from repro.frontend.unparser import unparse
 from repro.sim.device import Device
 
-# -- expression strategy ------------------------------------------------------
+from tests.helpers import minicuda_expr
 
-_NUMS = st.integers(min_value=0, max_value=64).map(str)
-_SCALARS = st.sampled_from(["n", "t", "acc"])
-_LOADS = st.sampled_from(["out[t]", "out[n % 8]", "out[0]"])
+# -- expression strategy (shared with test_strategies via helpers) ------------
 
-_atom = st.one_of(_NUMS, _SCALARS, _LOADS)
-
-_binops = st.sampled_from(["+", "-", "*", "&", "|", "^"])
-
-
-def _combine(children):
-    return st.builds(lambda a, op, b: f"({a} {op} {b})", children, _binops,
-                     children)
-
-
-_expr = st.recursive(_atom, _combine, max_leaves=6)
+_expr = minicuda_expr(
+    atoms=["n", "t", "acc", "out[t]", "out[n % 8]", "out[0]"])
 
 _conds = st.builds(lambda a, op, b: f"({a} {op} {b})", _expr,
                    st.sampled_from(["<", ">", "==", "!=", "<=", ">="]), _expr)

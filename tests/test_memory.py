@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import AllocationError, SimulationError
-from repro.sim.memory import DeviceArray, GlobalMemory
+from repro.sim.memory import GlobalMemory
 
 
 @pytest.fixture

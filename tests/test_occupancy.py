@@ -12,7 +12,7 @@ from repro.sim.occupancy import (
     occupancy_config,
     theoretical_occupancy,
 )
-from repro.sim.specs import K20C, TINY
+from repro.sim.specs import K20C
 
 
 class TestBlocksPerSM:

@@ -14,9 +14,7 @@ from repro.frontend.ast_nodes import (
     DoWhile,
     ExprStmt,
     For,
-    FunctionDef,
     GlobalDecl,
-    Ident,
     If,
     IncDec,
     Index,

@@ -5,7 +5,6 @@ import pytest
 from repro.errors import PragmaError
 from repro.frontend.pragma import (
     DEFAULT_TOTAL_SIZE,
-    DpDirective,
     parse_dp_pragma,
 )
 

@@ -134,6 +134,46 @@ class TestResultStore:
         assert len(store) == 0
 
 
+class TestMissingCacheDir:
+    """Regression: ``repro cache info`` on a --cache-dir that does not
+    exist must report an empty cache, not raise (and must not create
+    the directory as a side effect — only ``put`` may)."""
+
+    def test_cache_info_cli_reports_empty(self, tmp_path, capsys):
+        from repro.cli import main
+
+        missing = tmp_path / "never" / "created"
+        assert main(["cache", "info", "--cache-dir", str(missing)]) == 0
+        out = capsys.readouterr().out
+        assert "entries   : 0" in out
+        assert not missing.exists()
+
+    def test_cache_clear_cli_on_missing_dir(self, tmp_path, capsys):
+        from repro.cli import main
+
+        missing = tmp_path / "nope"
+        assert main(["cache", "clear", "--cache-dir", str(missing)]) == 0
+        assert "removed 0" in capsys.readouterr().out
+        assert not missing.exists()
+
+    def test_reads_do_not_create_directory(self, tmp_path):
+        missing = tmp_path / "sub" / "cache"
+        store = ResultStore(missing)
+        assert len(store) == 0
+        assert store.size_bytes() == 0
+        assert store.get("0" * 64) is None
+        assert "0" * 64 not in store
+        assert store.clear() == 0
+        assert not missing.exists()
+
+    def test_first_put_creates_directory(self, tmp_path):
+        missing = tmp_path / "sub" / "cache"
+        runner = ExperimentRunner(scale=SCALE, store=ResultStore(missing))
+        runner.run("spmv", "no-dp")
+        assert missing.is_dir()
+        assert len(runner.store) == 1
+
+
 class TestWorkPlans:
     def test_dedupe_preserves_order(self):
         a = RunSpec("spmv", "basic-dp")

@@ -9,7 +9,6 @@ paper's transforms are not just structurally plausible — they execute.
 """
 
 import numpy as np
-import pytest
 
 from repro.compiler import consolidate_source
 from repro.sim.device import Device

@@ -1,0 +1,428 @@
+"""Consolidation-strategy layer tests: registry lookup and validation,
+custom-strategy registration end-to-end, the strategy axis of the
+experiment runner, and a hypothesis property test that *every registered
+strategy* preserves program semantics on fuzzed annotated programs
+(sharing the expression space of tests/test_fuzz_programs.py)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.common import canonicalize_variant
+from repro.compiler import consolidate_all, consolidate_source
+from repro.compiler.strategies import (
+    WarpStrategy,
+    available_strategies,
+    get_strategy,
+    register_strategy,
+    unregister_strategy,
+)
+from repro.errors import TransformError
+from repro.sim.device import Device
+
+from tests.helpers import minicuda_expr
+
+
+class TestRegistry:
+    def test_builtins_registered_in_paper_order(self):
+        assert available_strategies() == ("warp", "block", "grid")
+
+    def test_get_strategy_returns_singleton(self):
+        assert get_strategy("warp") is get_strategy("warp")
+
+    def test_strategy_instances_pass_through(self):
+        s = get_strategy("block")
+        assert get_strategy(s) is s
+
+    def test_unknown_name_lists_available(self):
+        with pytest.raises(TransformError, match="warp, block, grid"):
+            get_strategy("thread")
+
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_strategy(WarpStrategy())
+
+    def test_nameless_strategy_rejected(self):
+        class Nameless(WarpStrategy):
+            name = ""
+
+        with pytest.raises(ValueError, match="must define a name"):
+            register_strategy(Nameless())
+
+    def test_unknown_scope_code_rejected(self):
+        class BadScope(WarpStrategy):
+            name = "bad-scope"
+            gran_code = 7
+
+        with pytest.raises(ValueError, match="gran_code"):
+            register_strategy(BadScope())
+
+    def test_bad_concurrency_rejected(self):
+        class BadKC(WarpStrategy):
+            name = "bad-kc"
+            kc_concurrency = 0
+
+        with pytest.raises(ValueError, match="kc_concurrency"):
+            register_strategy(BadKC())
+
+    def test_non_strategy_rejected(self):
+        with pytest.raises(TypeError):
+            register_strategy(object())
+
+    def test_unregister_unknown_raises(self):
+        with pytest.raises(KeyError):
+            unregister_strategy("never-registered")
+
+    def test_scope_codes_match_runtime(self):
+        from repro.sim.dp import GRAN_CODES
+
+        for name in ("warp", "block", "grid"):
+            assert get_strategy(name).gran_code == GRAN_CODES[name]
+
+    def test_kc_matches_occupancy_rule(self):
+        from repro.sim.occupancy import KC_FOR_GRANULARITY, kc_for
+
+        for name in ("warp", "block", "grid"):
+            assert kc_for(name) == get_strategy(name).kc_concurrency
+            assert KC_FOR_GRANULARITY[name] == kc_for(name)
+
+    def test_replaced_builtin_carries_its_own_kc(self):
+        """The registry, not the static KC table, is the source of truth:
+        a builtin replaced via register_strategy(..., replace=True) must
+        resolve to its own kc_concurrency."""
+        from repro.sim.occupancy import kc_for
+
+        class TunedWarp(WarpStrategy):
+            kc_concurrency = 8
+
+        original = get_strategy("warp")
+        register_strategy(TunedWarp(), replace=True)
+        try:
+            assert kc_for("warp") == 8
+        finally:
+            register_strategy(original, replace=True)
+        assert kc_for("warp") == 32
+
+    def test_postwork_only_for_grid(self):
+        flags = {n: get_strategy(n).consolidates_postwork
+                 for n in ("warp", "block", "grid")}
+        assert flags == {"warp": False, "block": False, "grid": True}
+
+
+# ---------------------------------------------------------------------------
+# a custom (plugin) strategy reaches every layer without code changes
+# ---------------------------------------------------------------------------
+
+ANNOTATED = """
+__global__ void child(int* data, int* out, int u) {
+    int deg = data[u];
+    int t = threadIdx.x;
+    if (t < deg) { atomicAdd(&out[u], t + 1); }
+}
+__global__ void parent(int* data, int* out, int n) {
+    int u = blockIdx.x * blockDim.x + threadIdx.x;
+    if (u < n) {
+        int deg = data[u];
+        #pragma dp consldt(block) work(u)
+        if (deg > 6) {
+            child<<<1, deg>>>(data, out, u);
+        } else {
+            for (int i = 0; i < deg; i++) { atomicAdd(&out[u], i + 1); }
+        }
+    }
+}
+"""
+
+
+def run_parent(src, data, n):
+    dev = Device()
+    prog = dev.load(src)
+    d = dev.from_numpy("data", data.copy())
+    out = dev.from_numpy("out", np.zeros(n, np.int32))
+    prog.launch("parent", 2, 64, d, out, n)
+    dev.synchronize()
+    return out.to_numpy()
+
+
+@pytest.fixture
+def warp2():
+    """A tuned warp variant registered as a plugin strategy."""
+
+    class Warp2Strategy(WarpStrategy):
+        name = "warp2"
+        kc_concurrency = 8
+
+    strategy = register_strategy(Warp2Strategy())
+    yield strategy
+    unregister_strategy("warp2")
+
+
+class TestCustomStrategy:
+    def test_compiles_and_names_kernels_after_itself(self, warp2):
+        res = consolidate_source(ANNOTATED, granularity="warp2")
+        assert res.report.granularity == "warp2"
+        assert "child_cons_warp2" in {f.name for f in res.module.kernels()}
+
+    def test_kc_rule_uses_plugin_concurrency(self, warp2):
+        from repro.sim.occupancy import kc_config, kc_for
+        from repro.sim.specs import K20C
+
+        assert kc_for("warp2") == 8
+        res = consolidate_source(ANNOTATED, granularity="warp2")
+        assert res.report.config == kc_config(K20C, 8)
+
+    def test_preserves_semantics_on_the_simulator(self, warp2):
+        rng = np.random.default_rng(11)
+        n = 90
+        data = rng.integers(0, 30, n).astype(np.int32)
+        baseline = run_parent(ANNOTATED, data, n)
+        res = consolidate_source(ANNOTATED, granularity="warp2")
+        np.testing.assert_array_equal(run_parent(res.source, data, n),
+                                      baseline)
+
+    def test_consolidate_all_includes_plugins(self, warp2):
+        results = consolidate_all(ANNOTATED)
+        assert set(results) == {"warp", "block", "grid", "warp2"}
+
+    def test_overridden_naming_hook_is_honored_everywhere(self):
+        """Child transform and parent transform must agree on the drain
+        kernel's name even when a plugin overrides consolidated_name()."""
+
+        class RenamedStrategy(WarpStrategy):
+            name = "renamed"
+
+            def consolidated_name(self, child_name):
+                return f"{child_name}__drain_{self.name}"
+
+        register_strategy(RenamedStrategy())
+        try:
+            res = consolidate_source(ANNOTATED, granularity="renamed")
+            names = {f.name for f in res.module.kernels()}
+            assert "child__drain_renamed" in names
+            rng = np.random.default_rng(12)
+            n = 80
+            data = rng.integers(0, 30, n).astype(np.int32)
+            np.testing.assert_array_equal(run_parent(res.source, data, n),
+                                          run_parent(ANNOTATED, data, n))
+        finally:
+            unregister_strategy("renamed")
+
+    def test_runner_keys_plugin_strategy_separately(self, warp2, tmp_path):
+        from repro.experiments import ExperimentRunner, ResultStore
+
+        store = ResultStore(tmp_path)
+        runner = ExperimentRunner(scale=0.15, store=store)
+        a = runner.run("spmv", "consolidated", strategy="warp")
+        b = runner.run("spmv", "consolidated", strategy="warp2")
+        assert a is not b
+        assert a.variant == "warp-level" and a.strategy is None
+        assert b.variant == "consolidated" and b.strategy == "warp2"
+        assert runner.stats.executed == 2
+        assert len(store) == 2
+
+
+# ---------------------------------------------------------------------------
+# the strategy axis: canonicalization and cache keys
+# ---------------------------------------------------------------------------
+
+class TestStrategyAxis:
+    def test_consolidated_builtin_canonicalizes_to_legacy_variant(self):
+        assert canonicalize_variant("consolidated", "warp") == \
+            ("warp-level", None)
+        assert canonicalize_variant("grid-level", None) == \
+            ("grid-level", None)
+        assert canonicalize_variant("consolidated", "warp2") == \
+            ("consolidated", "warp2")
+
+    def test_redundant_strategy_accepted(self):
+        assert canonicalize_variant("block-level", "block") == \
+            ("block-level", None)
+
+    def test_contradictory_strategy_rejected(self):
+        with pytest.raises(ValueError, match="contradicts"):
+            canonicalize_variant("warp-level", "grid")
+        with pytest.raises(ValueError, match="does not take"):
+            canonicalize_variant("basic-dp", "grid")
+
+    def test_consolidated_shares_cache_with_legacy_variant(self):
+        from repro.experiments import ExperimentRunner
+
+        runner = ExperimentRunner(scale=0.15)
+        a = runner.run("spmv", "block-level")
+        b = runner.run("spmv", "consolidated", strategy="block")
+        assert a is b
+        assert runner.stats.executed == 1
+
+    def test_three_strategies_have_distinct_content_keys(self):
+        from repro.experiments import ExperimentRunner, RunSpec
+
+        runner = ExperimentRunner(scale=0.15)
+        keys = {
+            runner._content_key(runner._resolve(
+                RunSpec("spmv", "consolidated", strategy=s)))
+            for s in ("warp", "block", "grid")
+        }
+        assert len(keys) == 3
+
+    def test_strategy_field_changes_run_key(self):
+        from repro.experiments.store import run_key
+        from repro.sim.specs import DEFAULT_COST_MODEL, K20C
+
+        base = dict(app="spmv", variant="consolidated", allocator="custom",
+                    config=None, dataset_fp="0" * 64,
+                    cost=DEFAULT_COST_MODEL, spec=K20C, threshold=8,
+                    verify=True, version="1.0")
+        assert run_key(**base, strategy="warp2") != \
+            run_key(**base, strategy="warp3")
+
+    def test_strategies_produce_distinct_timings(self):
+        from repro.experiments import ExperimentRunner
+
+        runner = ExperimentRunner(scale=0.15)
+        cycles = {s: runner.run("spmv", "consolidated", strategy=s)
+                  .metrics.cycles for s in ("warp", "block", "grid")}
+        assert len(set(cycles.values())) == 3
+
+
+class TestPerScopePushPricing:
+    def test_wider_scope_costs_more_under_contention_model(self):
+        """With the un-aggregated contention knobs enabled, a push into a
+        wider-scoped buffer must cost more cycles."""
+        from repro.sim.specs import DEFAULT_COST_MODEL, TINY
+
+        cost = DEFAULT_COST_MODEL.scaled(
+            push_conflict_warp=1, push_conflict_block=4, push_conflict_grid=16)
+        src = """
+        __global__ void k(int* out, int gran) {
+            int h = __dp_buf_acquire(gran, 64, 1);
+            __dp_buf_push1(h, threadIdx.x);
+        }
+        """
+        cycles = {}
+        for gran in (0, 1, 2):
+            dev = Device(spec=TINY, cost=cost)
+            prog = dev.load(src)
+            out = dev.from_numpy("out", np.zeros(1, np.int32))
+            prog.launch("k", 1, 32, out, gran)
+            cycles[gran] = dev.synchronize().cycles
+        assert cycles[0] < cycles[1] < cycles[2]
+
+    def test_pushes_are_counted_per_scope(self):
+        from repro.experiments import ExperimentRunner
+
+        runner = ExperimentRunner(scale=0.15)
+        m = runner.run("spmv", "consolidated", strategy="grid").metrics
+        assert m.buffer_pushes_by_scope.get("grid", 0) == m.buffer_pushes > 0
+        assert m.buffers_by_scope.get("grid") == m.buffers_acquired
+
+
+class TestBarrierStallMetric:
+    def test_block_barrier_attributes_stall_to_slow_warp(self):
+        src = """
+        __global__ void k(int* out, int n) {
+            int t = threadIdx.x;
+            if (t < 32) {
+                for (int i = 0; i < n; i++) { atomicAdd(&out[0], 1); }
+            }
+            __syncthreads();
+            if (t == 0) { out[1] = out[0]; }
+        }
+        """
+        dev = Device()
+        prog = dev.load(src)
+        out = dev.from_numpy("out", np.zeros(2, np.int32))
+        prog.launch("k", 1, 64, out, 50)
+        m = dev.synchronize()
+        # warp 1 idles while warp 0 loops 50 times before the barrier
+        assert m.barrier_stall_cycles > 0
+
+    def test_balanced_block_has_no_stall(self):
+        # pure compute before the barrier: no memory accesses, so both
+        # warps arrive at the same cycle (even an atomicAdd would skew
+        # them — the second warp L2-hits where the first paid DRAM)
+        src = """
+        __global__ void k(int* out) {
+            int x = threadIdx.x + 1;
+            __syncthreads();
+            if (threadIdx.x == 0) { out[1] = x; }
+        }
+        """
+        dev = Device()
+        prog = dev.load(src)
+        out = dev.from_numpy("out", np.zeros(2, np.int32))
+        prog.launch("k", 1, 64, out)
+        m = dev.synchronize()
+        assert m.barrier_stall_cycles == 0
+
+
+# ---------------------------------------------------------------------------
+# property: every registered strategy preserves program semantics
+# ---------------------------------------------------------------------------
+
+SOLO_THREAD_TMPL = """
+__global__ void child(int* buf, int* out, int u, int n) {
+    out[u] = @EXPR@;
+}
+__global__ void parent(int* buf, int* out, int n) {
+    int u = blockIdx.x * blockDim.x + threadIdx.x;
+    if (u < n) {
+        int w = buf[u];
+        #pragma dp consldt(block) work(u)
+        if (w > 8) {
+            child<<<1, 1>>>(buf, out, u, n);
+        } else {
+            out[u] = 0 - w;
+        }
+    }
+}
+"""
+
+#: same expression space as tests/test_fuzz_programs.py, over the
+#: per-item-isolated atoms a race-free child may read
+_child_expr = minicuda_expr(
+    atoms=["u", "n", "buf[u]", "buf[u % 16]", "buf[(u + 7) % 16]"])
+
+N = 64
+
+
+def _run_property_program(src):
+    rng = np.random.default_rng(23)
+    buf = rng.integers(0, 32, N).astype(np.int32)
+    dev = Device()
+    prog = dev.load(src)
+    b = dev.from_numpy("buf", buf)
+    out = dev.from_numpy("out", np.zeros(N, np.int32))
+    prog.launch("parent", 2, 32, b, out, N)
+    dev.synchronize()
+    return out.to_numpy()
+
+
+@given(_child_expr)
+@settings(max_examples=8, deadline=None)
+def test_every_strategy_preserves_fuzzed_child_semantics(expr):
+    src = SOLO_THREAD_TMPL.replace("@EXPR@", expr)
+    baseline = _run_property_program(src)
+    for name in available_strategies():
+        res = consolidate_source(src, granularity=name)
+        got = _run_property_program(res.source)
+        np.testing.assert_array_equal(
+            got, baseline,
+            err_msg=f"strategy {name!r} changed results for {expr!r}")
+
+
+@given(st.lists(st.integers(min_value=0, max_value=40),
+                min_size=8, max_size=80))
+@settings(max_examples=8, deadline=None)
+def test_every_strategy_preserves_degree_dependent_delegation(degrees):
+    """Fuzzed degree distributions decide, per item, whether work is
+    delegated to the child or kept inline; every strategy must agree
+    with basic-dp on the combined result."""
+    n = len(degrees)
+    data = np.asarray(degrees, dtype=np.int32)
+    baseline = run_parent(ANNOTATED, data, n)
+    for name in available_strategies():
+        res = consolidate_source(ANNOTATED, granularity=name)
+        got = run_parent(res.source, data, n)
+        np.testing.assert_array_equal(
+            got, baseline,
+            err_msg=f"strategy {name!r} changed results for degrees={degrees}")

@@ -3,10 +3,8 @@
 These exercise the scheduler directly with synthetic traces (no MiniCUDA
 involved) so each structural rule of DESIGN.md §5 is pinned down."""
 
-import pytest
-
 from repro.sim.engine import BlockTrace, KernelInstance, LaunchRecord
-from repro.sim.specs import CostModel, DeviceSpec, TINY
+from repro.sim.specs import CostModel, TINY
 from repro.sim.timing import DeviceScheduler
 
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import TypeCheckError
-from repro.frontend.ast_nodes import BOOL, FLOAT, INT, Type, VOID
+from repro.frontend.ast_nodes import BOOL, FLOAT, INT, Type
 from repro.frontend.parser import parse
 from repro.frontend.typecheck import check_module
 
