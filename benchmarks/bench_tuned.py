@@ -1,0 +1,33 @@
+"""Tuning bench: tuned configurations vs the paper's fixed choices.
+
+Runs the autotuner (successive halving over the full joint space) for
+every benchmark app and regenerates the tuned-vs-paper comparison table.
+Shares the session result store (``REPRO_BENCH_CACHE``) with the figure
+benches, so candidate evaluations that coincide with figure runs — the
+paper-default configurations in particular — come from cache.
+"""
+
+import os
+
+from conftest import SCALE, emit
+
+from repro.experiments import ResultStore, tuned_vs_paper
+from repro.apps import all_apps
+from repro.tuning import Tuner
+
+CACHE = os.environ.get("REPRO_BENCH_CACHE", "")
+JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "0"))
+
+
+def test_tuned_vs_paper(benchmark):
+    tuner = Tuner(scale=min(SCALE, 0.5),
+                  store=ResultStore(CACHE) if CACHE else None,
+                  jobs=max(JOBS, 1))
+    table = benchmark.pedantic(
+        lambda: tuned_vs_paper.compute(tuner, algorithm="halving"),
+        rounds=1, iterations=1,
+    )
+    emit("Tuned configuration vs paper defaults", table.render())
+    assert len(table.rows) == len(all_apps()) + 1  # + geomean row
+    gains = table.column("gain (x)")[:-1]
+    assert all(g >= 1.0 for g in gains)

@@ -25,6 +25,7 @@ from .common import (  # noqa: F401
     FLAT,
     GRID,
     REGISTRY,
+    TUNED,
     VARIANT_FOR_STRATEGY,
     VARIANTS,
     WARP,

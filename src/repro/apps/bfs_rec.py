@@ -72,6 +72,7 @@ __global__ void bfs_flat(int* row_ptr, int* col_idx, int* levels, int* changed,
 class BFSRecApp(App):
     key = "bfs_rec"
     label = "BFS-Rec"
+    has_delegation_guard = False
 
     def annotated_source(self) -> str:
         return ANNOTATED

@@ -43,6 +43,11 @@ GRID = "grid-level"
 #: None means the pragma's ``consldt`` clause decides)
 CONS = "consolidated"
 
+#: the autotuned variant: resolved through the tuned-config registry
+#: (``repro tune`` / :mod:`repro.tuning`) onto a concrete consolidated
+#: configuration before anything executes — apps never see it
+TUNED = "tuned"
+
 VARIANTS = (BASIC, FLAT, WARP, BLOCK, GRID)
 CONSOLIDATED = {WARP: "warp", BLOCK: "block", GRID: "grid"}
 #: built-in strategy name -> its legacy per-granularity variant label
@@ -103,6 +108,10 @@ class App(abc.ABC):
     label: str = ""
     #: default work-delegation threshold for irregular-loop apps
     threshold: int = 8
+    #: whether the template guards delegation with ``deg > threshold``
+    #: (Fig. 1(b)); False for the parallel-recursion apps, whose runs are
+    #: threshold-independent (the tuner drops the axis — DESIGN.md §11)
+    has_delegation_guard: bool = True
 
     # -- sources -------------------------------------------------------------
 
@@ -126,6 +135,12 @@ class App(abc.ABC):
         with the matching per-granularity variant).
         """
         variant, strategy = canonicalize_variant(variant, strategy)
+        if variant == TUNED:
+            raise ValueError(
+                "variant 'tuned' is resolved through the tuned-config "
+                "registry, not compiled directly; use `repro run <app> "
+                "tuned` or an ExperimentRunner with a tuned registry "
+                "(see repro.tuning)")
         if variant == BASIC:
             return self.annotated_source(), None
         if variant == FLAT:

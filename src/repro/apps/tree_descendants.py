@@ -63,6 +63,7 @@ __global__ void td_reduce(int* depths, int* values, int* total, int n) {
 class TreeDescendantsApp(App):
     key = "td"
     label = "TD"
+    has_delegation_guard = False
 
     def annotated_source(self) -> str:
         return ANNOTATED

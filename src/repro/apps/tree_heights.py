@@ -69,6 +69,7 @@ __global__ void th_reduce(int* depths, int* height, int n) {
 class TreeHeightsApp(App):
     key = "th"
     label = "TH"
+    has_delegation_guard = False
 
     def annotated_source(self) -> str:
         return ANNOTATED

@@ -8,6 +8,10 @@
     repro granularity               # strategy (granularity) ablation
     repro run sssp grid-level       # run one app variant, print metrics
     repro run sssp consolidated --strategy block   # pick a strategy
+    repro run sssp grid-level --threshold 32       # override delegation
+    repro tune sssp --jobs 4        # search the configuration space
+    repro run sssp tuned            # consume the persisted tuned config
+    repro tuned-vs-paper            # tuned vs paper defaults, every app
     repro compile sssp --strategy block      # show generated CUDA
     repro cache info|clear          # inspect/clear the on-disk result cache
 
@@ -77,17 +81,31 @@ def main(argv=None) -> int:
     _add_exec(p)
 
     from .compiler.strategies import available_strategies
+    from .tuning import OBJECTIVES, available_searches
+
+    def _add_threshold(p):
+        p.add_argument("--threshold", type=int, default=None, metavar="N",
+                       help="work-delegation threshold override (the "
+                            "`deg > threshold` guard; default: the app's "
+                            "paper value)")
 
     p = sub.add_parser("run", help="run one app variant")
     p.add_argument("app")
-    p.add_argument("variant")
+    p.add_argument("variant",
+                   help="basic-dp | no-dp | warp-level | block-level | "
+                        "grid-level | consolidated | tuned")
     p.add_argument("--allocator", default="custom",
                    choices=["default", "halloc", "custom"])
     p.add_argument("--strategy", default=None,
                    choices=list(available_strategies()),
                    help="consolidation strategy for the 'consolidated' "
                         "variant (granularity of aggregation)")
+    _add_threshold(p)
+    p.add_argument("--objective", default="cycles",
+                   choices=list(OBJECTIVES),
+                   help="which tuned config the 'tuned' variant consumes")
     _add_scale(p)
+    _add_cache(p)
 
     p = sub.add_parser("compile", help="print consolidated CUDA for an app")
     p.add_argument("app")
@@ -95,6 +113,33 @@ def main(argv=None) -> int:
                    default=None, choices=list(available_strategies()),
                    help="consolidation strategy (default: the pragma's "
                         "consldt clause)")
+    _add_threshold(p)
+
+    p = sub.add_parser(
+        "tune", help="search the consolidation configuration space for an app")
+    p.add_argument("app")
+    p.add_argument("--objective", default="cycles", choices=list(OBJECTIVES),
+                   help="metric to optimize (default: cycles)")
+    p.add_argument("--search", default="halving",
+                   choices=list(available_searches()),
+                   help="search algorithm (default: halving)")
+    p.add_argument("--budget", type=int, default=None, metavar="N",
+                   help="max candidates drawn from the space (default: all)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="seed for sampling searches (default 0)")
+    _add_exec(p)
+
+    p = sub.add_parser(
+        "tuned-vs-paper",
+        help="tune every app and compare against the paper's fixed configs")
+    p.add_argument("--apps", nargs="+", default=None, metavar="APP",
+                   help="restrict to these apps (default: all)")
+    p.add_argument("--objective", default="cycles", choices=list(OBJECTIVES))
+    p.add_argument("--search", default="halving",
+                   choices=list(available_searches()))
+    p.add_argument("--budget", type=int, default=None, metavar="N")
+    p.add_argument("--seed", type=int, default=0)
+    _add_exec(p)
 
     p = sub.add_parser("cache", help="inspect or clear the result cache")
     p.add_argument("action", choices=["info", "clear"])
@@ -105,6 +150,7 @@ def main(argv=None) -> int:
     if args.command == "list":
         from .apps import all_apps
         from .compiler.strategies import get_strategy
+        from .tuning import get_search
 
         print("benchmarks:")
         for app in all_apps():
@@ -113,6 +159,10 @@ def main(argv=None) -> int:
         print("strategies:")
         for name in available_strategies():
             print(f"  {name:10s} {get_strategy(name).tradeoff}")
+        print("search algorithms (repro tune --search):")
+        for name in available_searches():
+            print(f"  {name:10s} {get_search(name).summary}")
+        print("objectives:", ", ".join(OBJECTIVES))
         return 0
 
     if args.command == "compile":
@@ -122,21 +172,51 @@ def main(argv=None) -> int:
         app = get_app(args.app)
         res = consolidate_source(app.annotated_source(),
                                  granularity=args.strategy)
+        threshold = (args.threshold if args.threshold is not None
+                     else app.threshold)
         print(f"// {res.report.describe()}")
+        print(f"// delegation threshold: {threshold} (host launch argument; "
+              "the generated code is threshold-independent)")
         print(res.source)
         return 0
 
     if args.command == "run":
         from .apps import get_app
+        from .experiments import ExperimentRunner, RunSpec
+        from .tuning import TunedConfigRegistry, default_tuned_path
 
         app = get_app(args.app)
+        registry = TunedConfigRegistry(default_tuned_path(args.cache_dir))
+        # opt-in on-disk result cache: `repro run` stays execute-always
+        # unless the user points it at a cache directory explicitly
+        store = None
+        if args.cache_dir:
+            from .experiments import ResultStore
+
+            store = ResultStore(args.cache_dir)
+        runner = ExperimentRunner(
+            scale=args.scale, verify=not args.no_verify, store=store,
+            tuned=registry, tuned_objective=args.objective)
+        spec = RunSpec(app=args.app, variant=args.variant,
+                       allocator=args.allocator, threshold=args.threshold,
+                       strategy=args.strategy)
         t0 = time.time()
         try:
-            run = app.run(args.variant, scale=args.scale,
-                          allocator=args.allocator, verify=not args.no_verify,
-                          strategy=args.strategy)
+            if args.variant == "tuned":
+                # the same selection _resolve_tuned uses, so the
+                # provenance line always describes the config that runs
+                entry = runner.tuned_entry(args.app)
+                if entry is not None:
+                    print(f"tuned[{entry.objective}] via {entry.algorithm}: "
+                          f"{entry.candidate.describe()}")
+            run = runner.run_spec(spec)
         except ValueError as exc:  # e.g. variant/strategy contradiction
             print(f"error: {exc}", file=sys.stderr)
+            return 2
+        except (KeyError, RuntimeError) as exc:  # e.g. no tuned config yet
+            # KeyError's str() wraps the message in quotes; unwrap it
+            message = exc.args[0] if exc.args else exc
+            print(f"error: {message}", file=sys.stderr)
             return 2
         wall = time.time() - t0
         label = run.variant if run.strategy is None else \
@@ -148,17 +228,70 @@ def main(argv=None) -> int:
         print(run.metrics.summary())
         return 0
 
+    if args.command == "tune":
+        from .tuning import Tuner, TunedConfigRegistry, default_tuned_path
+
+        # --no-cache keeps the whole invocation off disk: no run store,
+        # and no write to the (possibly global) tuned-config registry
+        registry = (None if args.no_cache else
+                    TunedConfigRegistry(default_tuned_path(args.cache_dir)))
+        tuner = Tuner(scale=args.scale, store=_make_store(args),
+                      registry=registry, jobs=args.jobs,
+                      verify=not args.no_verify)
+        t0 = time.time()
+        result = tuner.tune(args.app, objective=args.objective,
+                            algorithm=args.search, budget=args.budget,
+                            seed=args.seed)
+        print(result.describe())
+        print(f"[tuning: {result.evaluations} evaluations "
+              f"(--jobs {args.jobs}): {result.stats.describe()}; "
+              f"{time.time() - t0:.1f}s]")
+        if registry is not None:
+            print(f"saved tuned config -> {registry.path} "
+                  f"(key {result.key[:12]}...)")
+        else:
+            print("tuned config not persisted (--no-cache)")
+        return 0
+
+    if args.command == "tuned-vs-paper":
+        from .experiments import tuned_vs_paper
+        from .tuning import Tuner, TunedConfigRegistry, default_tuned_path
+
+        registry = (None if args.no_cache else
+                    TunedConfigRegistry(default_tuned_path(args.cache_dir)))
+        tuner = Tuner(scale=args.scale, store=_make_store(args),
+                      registry=registry, jobs=args.jobs,
+                      verify=not args.no_verify)
+        t0 = time.time()
+        print(tuned_vs_paper.compute(
+            tuner, apps=args.apps, objective=args.objective,
+            algorithm=args.search, budget=args.budget,
+            seed=args.seed).render())
+        saved = ("configs saved -> " + str(registry.path)
+                 if registry is not None else "configs not persisted "
+                 "(--no-cache)")
+        print(f"\n[tuning (--jobs {args.jobs}): {tuner.stats.describe()}; "
+              f"{time.time() - t0:.1f}s; {saved}]")
+        return 0
+
     if args.command == "cache":
         from .experiments import ResultStore, default_cache_dir
+        from .tuning import TunedConfigRegistry, default_tuned_path
 
         store = ResultStore(args.cache_dir or default_cache_dir())
+        tuned = TunedConfigRegistry(default_tuned_path(args.cache_dir))
         if args.action == "clear":
             removed = store.clear()
             print(f"removed {removed} cached runs from {store.root}")
+            removed_configs = tuned.clear()
+            if removed_configs:
+                print(f"removed {removed_configs} tuned configs from "
+                      f"{tuned.path}")
         else:
             print(f"cache dir : {store.root}")
             print(f"entries   : {len(store)}")
             print(f"size      : {store.size_bytes() / 1024:.1f} KiB")
+            print(f"tuned     : {len(tuned)} configs ({tuned.path})")
         return 0
 
     # figures

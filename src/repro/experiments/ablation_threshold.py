@@ -76,14 +76,25 @@ def compute(runner: Optional[ExperimentRunner] = None,
 def best_threshold(runner: Optional[ExperimentRunner] = None,
                    scale: float = DEFAULT_SWEEP_SCALE,
                    variant: str = "grid-level") -> int:
-    """Threshold with the lowest simulated cycles (helper for tests)."""
-    runner = _sweep_runner(runner, scale)
-    best, best_cycles = None, float("inf")
-    for threshold in THRESHOLDS:
-        cycles = runner.run(APP, variant, threshold=threshold).metrics.cycles
-        if cycles < best_cycles:
-            best, best_cycles = threshold, cycles
-    return best
+    """Threshold with the lowest simulated cycles.
+
+    .. deprecated::
+        Folded into the tuner as a 1-D grid search over the threshold
+        axis; call :func:`repro.tuning.best_threshold` instead. This
+        shim delegates (same runs, same cache entries, same answer) and
+        will be removed.
+    """
+    import warnings
+
+    warnings.warn(
+        "ablation_threshold.best_threshold is deprecated; use "
+        "repro.tuning.best_threshold (1-D grid search over the "
+        "threshold axis of the tuning space)",
+        DeprecationWarning, stacklevel=2)
+    from ..tuning import best_threshold as tuned_best
+
+    return tuned_best(APP, variant=variant, thresholds=THRESHOLDS,
+                      runner=_sweep_runner(runner, scale))
 
 
 def main(scale: float = DEFAULT_SWEEP_SCALE) -> str:

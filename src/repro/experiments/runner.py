@@ -116,6 +116,11 @@ class ExperimentRunner:
     store: Optional[ResultStore] = None
     #: default worker count for :meth:`prefetch`
     jobs: int = 1
+    #: optional tuned-config registry backing the ``'tuned'`` variant
+    #: (:class:`repro.tuning.TunedConfigRegistry`; run ``repro tune``)
+    tuned: Optional[object] = None
+    #: which tuned objective the ``'tuned'`` variant resolves against
+    tuned_objective: str = "cycles"
     stats: RunStats = field(default_factory=RunStats, repr=False)
     _cache: dict = field(default_factory=dict, repr=False)
     #: optional named datasets (e.g. Fig. 6's tree dataset1/dataset2)
@@ -147,10 +152,61 @@ class ExperimentRunner:
 
     # -- keying ---------------------------------------------------------------
 
+    def tuned_entry(self, app: str):
+        """The stored tuned config the ``'tuned'`` variant would run for
+        an app: the exact entry for this runner's tuning context (device
+        spec, cost model, scale, verify flag, package version) when one
+        exists, else the closest stored match by scale and device.
+        Returns None when nothing matching is stored."""
+        if self.tuned is None:
+            raise RuntimeError(
+                "the 'tuned' variant needs a tuned-config registry "
+                "attached to the runner (ExperimentRunner(tuned=...)); "
+                f"run `repro tune {app}` to create one")
+        from .. import __version__
+        from ..tuning.registry import tuned_key
+
+        key = tuned_key(app=app, objective=self.tuned_objective,
+                        spec=self.spec, cost=self.cost, scale=self.scale,
+                        verify=self.verify, version=__version__)
+        entry = self.tuned.get(key)
+        if entry is None:
+            entry = self.tuned.lookup(app, self.tuned_objective,
+                                      scale=self.scale,
+                                      device=self.spec.name)
+        return entry
+
+    def _resolve_tuned(self, spec: RunSpec) -> RunSpec:
+        """Lower a ``'tuned'`` spec onto the stored winning configuration
+        (explicit per-spec threshold/config overrides still win; an
+        explicit strategy contradicts the variant and is rejected)."""
+        if spec.strategy is not None:
+            raise ValueError(
+                "variant 'tuned' takes its strategy from the stored "
+                f"config; drop the explicit strategy {spec.strategy!r} "
+                "or use variant 'consolidated'")
+        entry = self.tuned_entry(spec.app)
+        if entry is None:
+            raise KeyError(
+                f"no tuned config for app {spec.app!r} / objective "
+                f"{self.tuned_objective!r} in {self.tuned.path}; run "
+                f"`repro tune {spec.app}` first")
+        cand = entry.candidate
+        from ..apps.common import CONS
+
+        return replace(
+            spec, variant=CONS, strategy=cand.strategy,
+            threshold=(spec.threshold if spec.threshold is not None
+                       else cand.threshold),
+            config=(spec.config if spec.config is not None
+                    else cand.config_key(self.spec)))
+
     def _resolve(self, spec: RunSpec) -> RunSpec:
         """Fill runner/app defaults so the spec fully determines the run."""
-        from ..apps.common import canonicalize_variant
+        from ..apps.common import TUNED, canonicalize_variant
 
+        if spec.variant == TUNED:
+            spec = self._resolve_tuned(spec)
         variant, strategy = canonicalize_variant(spec.variant, spec.strategy)
         cost = spec.cost if spec.cost is not None else self.cost
         threshold = (spec.threshold if spec.threshold is not None

@@ -1,0 +1,62 @@
+"""Tuning objectives — which profiler metric the search optimizes.
+
+The paper reports three quality axes for consolidation (overall cycles,
+Fig. 7; warp execution efficiency, Fig. 8; DRAM transactions, Fig. 10);
+each is a tunable objective here. An :class:`Objective` maps a
+:class:`~repro.sim.profiler.RunMetrics` to a scalar *value* in natural
+units and to a *loss* (always minimized internally), so search
+algorithms never need to know whether an objective is maximized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One metric the tuner can optimize."""
+
+    #: registry key (``repro tune --objective``)
+    name: str
+    #: attribute read off :class:`~repro.sim.profiler.RunMetrics`
+    metric: str
+    #: True for metrics where larger is better (loss negates the value)
+    maximize: bool = False
+    #: natural-unit suffix for reports
+    label: str = ""
+    #: value format for reports
+    fmt: str = "{:,.0f}"
+
+    def value(self, metrics) -> float:
+        return float(getattr(metrics, self.metric))
+
+    def loss(self, value: float) -> float:
+        """The minimized scalar: negated for maximized objectives."""
+        return -value if self.maximize else value
+
+    def format(self, value: float) -> str:
+        text = self.fmt.format(value)
+        return f"{text} {self.label}" if self.label else text
+
+
+#: name -> objective, in presentation order
+OBJECTIVES = {
+    o.name: o for o in (
+        Objective("cycles", "cycles", label="cycles"),
+        Objective("warp-eff", "warp_execution_efficiency", maximize=True,
+                  label="warp efficiency", fmt="{:.1%}"),
+        Objective("dram", "dram_transactions", label="DRAM transactions"),
+    )
+}
+
+
+def get_objective(name) -> Objective:
+    """Look up an objective by name; instances pass through unchanged."""
+    if isinstance(name, Objective):
+        return name
+    obj = OBJECTIVES.get(name)
+    if obj is None:
+        raise KeyError(f"unknown tuning objective {name!r}; "
+                       f"available: {', '.join(OBJECTIVES)}")
+    return obj
