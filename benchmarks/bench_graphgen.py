@@ -1,0 +1,116 @@
+"""Generator micro-benchmarks: the kron_like hot path, before/after.
+
+Workload sweeps (``repro sensitivity``, per-workload tuning) materialize
+many graphs per invocation, which made the two per-node Python loops in
+``kron_like`` — the min-degree ring-edge floor and the >1023-degree hub
+cap — a real hot path. Both are now NumPy-vectorized; this bench keeps
+the original loop implementation around as ``_kron_like_loops`` and
+checks the vectorized generator is array-identical while timing both,
+so the speedup (and the equivalence) stays measurable.
+
+Run: ``PYTHONPATH=src python -m pytest benchmarks/bench_graphgen.py``.
+"""
+
+import numpy as np
+
+from repro.data.graphgen import kron_like
+from repro.data.structures import Graph
+from repro.workloads import materialize
+
+#: large enough that the floor/cap stages dominate; small enough for CI
+BENCH_SCALE = 8.0
+
+
+def _kron_like_loops(scale: float = 1.0, seed: int = 2) -> Graph:
+    """The pre-vectorization kron_like, loops and all (reference)."""
+    rng = np.random.default_rng(seed)
+    levels = max(6, int(round(10 + np.log2(max(scale, 1e-6)))))
+    n = 1 << levels
+    m = 8 * n
+    a, b, c = 0.57, 0.19, 0.19
+    src = np.zeros(m, dtype=np.int64)
+    dst = np.zeros(m, dtype=np.int64)
+    for lvl in range(levels):
+        r = rng.random(m)
+        right = r >= a + b
+        down = ((r >= a) & (r < a + b)) | (r >= a + b + c)
+        src = src * 2 + down.astype(np.int64)
+        dst = dst * 2 + right.astype(np.int64)
+    u = np.concatenate([src, dst])
+    v = np.concatenate([dst, src])
+    keep = u != v
+    u, v = u[keep], v[keep]
+    order = np.lexsort((v, u))
+    u, v = u[order], v[order]
+    dedup = np.ones(len(u), dtype=bool)
+    dedup[1:] = (u[1:] != u[:-1]) | (v[1:] != v[:-1])
+    u, v = u[dedup], v[dedup]
+    deg = np.bincount(u, minlength=n)
+    extra_u = [np.zeros(0, dtype=np.int64)]
+    extra_v = [np.zeros(0, dtype=np.int64)]
+    for node in np.nonzero(deg < 8)[0]:  # the former per-node loop
+        need = 8 - deg[node]
+        targets = (node + 1 + np.arange(need)) % n
+        extra_u.append(np.full(need, node))
+        extra_v.append(targets)
+        extra_u.append(targets)
+        extra_v.append(np.full(need, node))
+    u = np.concatenate([u] + extra_u)
+    v = np.concatenate([v] + extra_v)
+    order = np.lexsort((v, u))
+    u, v = u[order], v[order]
+    dedup = np.ones(len(u), dtype=bool)
+    dedup[1:] = (u[1:] != u[:-1]) | (v[1:] != v[:-1])
+    u, v = u[dedup], v[dedup]
+    max_deg = 1023
+    deg = np.bincount(u, minlength=n)
+    if deg.max() > max_deg:
+        keep = np.ones(len(u), dtype=bool)
+        start = np.zeros(n + 1, dtype=np.int64)
+        start[1:] = np.cumsum(deg)
+        for node in np.nonzero(deg > max_deg)[0]:  # former hub-cap loop
+            keep[start[node] + max_deg:start[node + 1]] = False
+        fwd_key = u * n + v
+        rev_key = v * n + u
+        rev_pos = np.searchsorted(fwd_key, rev_key)
+        keep &= keep[rev_pos]
+        u, v = u[keep], v[keep]
+    row_ptr = np.zeros(n + 1, dtype=np.int64)
+    np.add.at(row_ptr, u + 1, 1)
+    row_ptr = np.cumsum(row_ptr)
+    weights = rng.integers(1, 11, size=len(u)).astype(np.int32)
+    g = Graph(f"kron_like(x{scale:g})", row_ptr.astype(np.int64),
+              v.astype(np.int32), weights)
+    g.validate()
+    return g
+
+
+def test_kron_like_vectorized(benchmark):
+    g = benchmark(lambda: kron_like(BENCH_SCALE))
+    assert g.degrees.min() >= 1 and g.degrees.max() <= 1023
+
+
+def test_kron_like_loop_reference(benchmark):
+    g = benchmark(lambda: _kron_like_loops(BENCH_SCALE))
+    assert g.degrees.max() <= 1023
+
+
+def test_vectorized_is_array_identical_to_loops():
+    for scale in (0.5, 2.0, BENCH_SCALE):
+        fast, slow = kron_like(scale), _kron_like_loops(scale)
+        assert np.array_equal(fast.row_ptr, slow.row_ptr)
+        assert np.array_equal(fast.col_idx, slow.col_idx)
+        assert np.array_equal(fast.weights, slow.weights)
+
+
+def test_workload_materialization_sweep(benchmark):
+    """Time one full sensitivity-style dataset sweep: every graph
+    workload family materialized at scale 1."""
+    names = ("citeseer", "kron", "uniform", "road", "star", "chain",
+             "bimodal")
+
+    def sweep():
+        return [materialize(name, 1.0) for name in names]
+
+    graphs = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert all(g.num_edges > 0 for g in graphs)

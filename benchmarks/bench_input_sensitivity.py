@@ -1,0 +1,28 @@
+"""Input-sensitivity bench: strategy x workload per app, full scale.
+
+Regenerates the ``repro sensitivity`` table against the session runner
+and asserts its headline: on at least one workload the paper's fixed
+granularity is not the winner, and for at least one app the winner flips
+with the input (the Olabi et al. observation the subsystem exists to
+measure).
+"""
+
+from conftest import emit, runner  # noqa: F401
+
+from repro.experiments import input_sensitivity
+
+
+def test_input_sensitivity_sweep(benchmark, runner):  # noqa: F811
+    table = benchmark.pedantic(
+        lambda: input_sensitivity.compute(runner),
+        rounds=1, iterations=1,
+    )
+    claims = input_sensitivity.claims(table)
+    emit("Input sensitivity — strategy x workload per app",
+         table.render() + "\n" + "\n".join(c.render() for c in claims))
+    # every app sweeps its default plus at least one adversarial input
+    apps = {row[0] for row in table.rows}
+    assert len(apps) == 7
+    assert len(table.rows) > len(apps)
+    for claim in claims:
+        assert claim.holds, claim.render()

@@ -15,7 +15,7 @@ Run:  python examples/parallel_recursion_trees.py
 
 from repro.apps import BASIC, BLOCK, FLAT, GRID, WARP, get_app
 from repro.compiler import consolidate_source
-from repro.data import tree_dataset1, tree_dataset2
+from repro.workloads.generators import tree_dataset1, tree_dataset2
 from repro.experiments.reporting import Table
 
 

@@ -23,7 +23,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..data.graphgen import kron_like
 from .common import App, FLAT, register
 from .util import blocks_for, upload_graph
 
@@ -73,15 +72,15 @@ class BFSRecApp(App):
     key = "bfs_rec"
     label = "BFS-Rec"
     has_delegation_guard = False
+    requires_symmetric = True
+    requires_shallow = True
+    default_workload = "kron(seed=51)"
 
     def annotated_source(self) -> str:
         return ANNOTATED
 
     def flat_source(self) -> str:
         return FLAT_SRC
-
-    def default_dataset(self, scale: float = 1.0):
-        return kron_like(scale, seed=51)
 
     def _root(self, g) -> int:
         return int(np.argmax(g.degrees))

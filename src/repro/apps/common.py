@@ -112,6 +112,22 @@ class App(abc.ABC):
     #: (Fig. 1(b)); False for the parallel-recursion apps, whose runs are
     #: threshold-independent (the tuner drops the axis — DESIGN.md §11)
     has_delegation_guard: bool = True
+    #: dataset kind the host driver consumes ('graph' | 'tree'); the
+    #: runner refuses workloads of the other kind up front
+    kind: str = "graph"
+    #: whether the algorithm relies on an undirected (symmetrized) graph
+    #: (GC's independent-set argument, BFS-Rec's level check); asymmetric
+    #: workloads are rejected before anything executes
+    requires_symmetric: bool = False
+    #: whether the algorithm recurses once per dataset level (BFS-Rec):
+    #: workloads declared ``deep`` would exceed the device's DP nesting
+    #: limit and are rejected before anything executes
+    requires_shallow: bool = False
+    #: canonical workload reference this app runs when none is requested
+    #: (the paper's dataset for the benchmark); ``--workload`` spellings
+    #: equal to this canonicalize onto ``None``, so the workload axis
+    #: leaves every pre-existing cache key unchanged (DESIGN.md §12)
+    default_workload: str = ""
 
     # -- sources -------------------------------------------------------------
 
@@ -160,9 +176,12 @@ class App(abc.ABC):
 
     # -- dataset + driver ------------------------------------------------------
 
-    @abc.abstractmethod
     def default_dataset(self, scale: float = 1.0):
-        """The dataset the paper uses for this benchmark (scaled)."""
+        """The dataset the paper uses for this benchmark (scaled):
+        :attr:`default_workload` materialized through the registry."""
+        from ..workloads import materialize
+
+        return materialize(self.default_workload, scale)
 
     @abc.abstractmethod
     def host_run(self, device: Device, program, dataset, variant: str) -> np.ndarray:
@@ -241,6 +260,10 @@ def register(app_cls):
     app = app_cls()
     if not app.key or not app.label:
         raise ValueError(f"{app_cls.__name__} must define key and label")
+    if not app.default_workload:
+        raise ValueError(
+            f"{app_cls.__name__} must name a default_workload (a "
+            "repro.workloads registry reference)")
     REGISTRY[app.key] = app
     return app_cls
 

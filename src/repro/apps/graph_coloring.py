@@ -21,7 +21,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..data.graphgen import kron_like
 from .common import App, FLAT, register
 from .util import blocks_for, upload_graph
 
@@ -129,6 +128,8 @@ class GraphColoringApp(App):
     key = "gc"
     label = "GC"
     threshold = 16
+    requires_symmetric = True
+    default_workload = "kron(seed=41)"
     max_rounds = 100
 
     def annotated_source(self) -> str:
@@ -136,9 +137,6 @@ class GraphColoringApp(App):
 
     def flat_source(self) -> str:
         return FLAT_SRC
-
-    def default_dataset(self, scale: float = 1.0):
-        return kron_like(scale, seed=41)
 
     def _priorities(self, n: int) -> np.ndarray:
         rng = np.random.default_rng(9)

@@ -13,7 +13,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..data.graphgen import citeseer_like
 from .common import App, FLAT, register
 from .util import blocks_for, reverse_csr
 
@@ -97,15 +96,13 @@ class PageRankApp(App):
     key = "pagerank"
     label = "PR"
     threshold = 8
+    default_workload = "citeseer(seed=31)"
 
     def annotated_source(self) -> str:
         return ANNOTATED
 
     def flat_source(self) -> str:
         return FLAT_SRC
-
-    def default_dataset(self, scale: float = 1.0):
-        return citeseer_like(scale, seed=31)
 
     def host_run(self, device, program, dataset, variant):
         g = dataset

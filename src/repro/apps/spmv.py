@@ -13,7 +13,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..data.graphgen import citeseer_like
 from .common import App, FLAT, register
 from .util import blocks_for, upload_graph
 
@@ -71,15 +70,13 @@ class SpMVApp(App):
     key = "spmv"
     label = "SpMV"
     threshold = 8
+    default_workload = "citeseer(seed=21)"
 
     def annotated_source(self) -> str:
         return ANNOTATED
 
     def flat_source(self) -> str:
         return FLAT_SRC
-
-    def default_dataset(self, scale: float = 1.0):
-        return citeseer_like(scale, seed=21)
 
     def _x(self, n: int) -> np.ndarray:
         rng = np.random.default_rng(5)

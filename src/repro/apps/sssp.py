@@ -13,7 +13,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..data.graphgen import citeseer_like
 from .common import App, FLAT, register
 from .util import blocks_for, upload_graph
 
@@ -90,6 +89,7 @@ class SSSPApp(App):
     key = "sssp"
     label = "SSSP"
     threshold = 8
+    default_workload = "citeseer"
     source_node = 0
     max_iterations = 80
 
@@ -98,9 +98,6 @@ class SSSPApp(App):
 
     def flat_source(self) -> str:
         return FLAT_SRC
-
-    def default_dataset(self, scale: float = 1.0):
-        return citeseer_like(scale)
 
     def host_run(self, device, program, dataset, variant):
         g = dataset

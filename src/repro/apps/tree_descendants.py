@@ -16,7 +16,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..data.treegen import tree_dataset2
 from .common import App, FLAT, register
 from .util import blocks_for, upload_tree
 
@@ -64,15 +63,14 @@ class TreeDescendantsApp(App):
     key = "td"
     label = "TD"
     has_delegation_guard = False
+    kind = "tree"
+    default_workload = "tree2"
 
     def annotated_source(self) -> str:
         return ANNOTATED
 
     def flat_source(self) -> str:
         return FLAT_SRC
-
-    def default_dataset(self, scale: float = 1.0):
-        return tree_dataset2(scale)
 
     def host_run(self, device, program, dataset, variant):
         t = dataset

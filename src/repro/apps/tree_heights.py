@@ -17,7 +17,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..data.treegen import tree_dataset1
 from .common import App, FLAT, register
 from .util import blocks_for, upload_tree
 
@@ -70,15 +69,14 @@ class TreeHeightsApp(App):
     key = "th"
     label = "TH"
     has_delegation_guard = False
+    kind = "tree"
+    default_workload = "tree1"
 
     def annotated_source(self) -> str:
         return ANNOTATED
 
     def flat_source(self) -> str:
         return FLAT_SRC
-
-    def default_dataset(self, scale: float = 1.0):
-        return tree_dataset1(scale)
 
     def host_run(self, device, program, dataset, variant):
         t = dataset

@@ -13,7 +13,11 @@
     repro run sssp tuned            # consume the persisted tuned config
     repro tuned-vs-paper            # tuned vs paper defaults, every app
     repro compile sssp --strategy block      # show generated CUDA
-    repro cache info|clear          # inspect/clear the on-disk result cache
+    repro workloads list            # the dataset/scenario registry
+    repro workloads gen star --scale 0.5     # materialize + cache one
+    repro run sssp grid-level --workload star    # run on a named workload
+    repro sensitivity [--apps sssp gc]       # variant x workload sweep
+    repro cache info|clear          # inspect/clear the on-disk caches
 
 Figure commands batch their work plans up front: ``repro all`` takes the
 union of every figure's declared run matrix, deduplicates it, executes
@@ -61,6 +65,14 @@ def _make_store(args):
     return ResultStore(args.cache_dir or default_cache_dir())
 
 
+def _make_dataset_cache(args):
+    from .workloads import DatasetCache, default_dataset_cache_dir
+
+    if getattr(args, "no_cache", False):
+        return None
+    return DatasetCache(default_dataset_cache_dir(args.cache_dir))
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -101,6 +113,10 @@ def main(argv=None) -> int:
                    help="consolidation strategy for the 'consolidated' "
                         "variant (granularity of aggregation)")
     _add_threshold(p)
+    p.add_argument("--workload", default=None, metavar="REF",
+                   help="registered workload to run on, e.g. 'star' or "
+                        "'citeseer(seed=9)' (default: the app's paper "
+                        "dataset; see `repro workloads list`)")
     p.add_argument("--objective", default="cycles",
                    choices=list(OBJECTIVES),
                    help="which tuned config the 'tuned' variant consumes")
@@ -127,6 +143,9 @@ def main(argv=None) -> int:
                    help="max candidates drawn from the space (default: all)")
     p.add_argument("--seed", type=int, default=0,
                    help="seed for sampling searches (default 0)")
+    p.add_argument("--workload", default=None, metavar="REF",
+                   help="tune against a registered workload instead of "
+                        "the app's default dataset (stored per workload)")
     _add_exec(p)
 
     p = sub.add_parser(
@@ -139,6 +158,26 @@ def main(argv=None) -> int:
                    choices=list(available_searches()))
     p.add_argument("--budget", type=int, default=None, metavar="N")
     p.add_argument("--seed", type=int, default=0)
+    _add_exec(p)
+
+    p = sub.add_parser(
+        "workloads", help="list, materialize or describe registered "
+                          "dataset workloads")
+    p.add_argument("action", choices=["list", "gen", "info"])
+    p.add_argument("name", nargs="?", default=None,
+                   help="workload reference (gen/info)")
+    p.add_argument("--scale", type=float, default=1.0,
+                   help="dataset scale factor for gen (default 1.0)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="gen: do not write the materialized dataset to "
+                        "the on-disk dataset cache")
+    _add_cache(p)
+
+    p = sub.add_parser(
+        "sensitivity",
+        help="input-sensitivity sweep: strategy x workload per app")
+    p.add_argument("--apps", nargs="+", default=None, metavar="APP",
+                   help="restrict to these apps (default: all)")
     _add_exec(p)
 
     p = sub.add_parser("cache", help="inspect or clear the result cache")
@@ -163,6 +202,68 @@ def main(argv=None) -> int:
         for name in available_searches():
             print(f"  {name:10s} {get_search(name).summary}")
         print("objectives:", ", ".join(OBJECTIVES))
+        from .workloads import available_workloads, get_workload
+
+        print("workloads (repro run --workload; `repro workloads list` "
+              "for details):")
+        for name in available_workloads():
+            print(f"  {name:14s} {get_workload(name).summary()}")
+        return 0
+
+    if args.command == "workloads":
+        from .apps import all_apps
+        from .workloads import (available_workloads, canonical_workload,
+                                get_workload, materialize)
+
+        if args.action == "list":
+            from .workloads import parse_workload
+
+            defaults: dict = {}
+            for app in all_apps():
+                family = parse_workload(app.default_workload)[0]
+                defaults.setdefault(family, []).append(app.key)
+            for name in available_workloads():
+                spec = get_workload(name)
+                used = defaults.get(name)
+                tail = f"  [default for {', '.join(used)}]" if used else ""
+                print(f"{name:14s} {spec.summary()}{tail}")
+                if spec.defaults:
+                    params = ", ".join(f"{k}={v}" for k, v in
+                                       sorted(spec.defaults.items()))
+                    print(f"{'':14s}   params: {params}")
+            return 0
+        if args.name is None:
+            print(f"error: `repro workloads {args.action}` needs a "
+                  "workload reference", file=sys.stderr)
+            return 2
+        try:
+            spec = get_workload(canonical_workload(args.name).split("(")[0])
+        except (KeyError, ValueError) as exc:
+            message = exc.args[0] if exc.args else exc
+            print(f"error: {message}", file=sys.stderr)
+            return 2
+        if args.action == "info":
+            print(f"{spec.name}: {spec.summary()}")
+            print(f"  canonical : {canonical_workload(args.name)}")
+            if spec.defaults:
+                for k, v in sorted(spec.defaults.items()):
+                    print(f"  param     : {k} = {v}")
+            if spec.source is not None:
+                print(f"  source    : {spec.source}")
+            return 0
+        # gen: materialize (through the dataset cache unless --no-cache)
+        cache = _make_dataset_cache(args)
+        t0 = time.time()
+        try:
+            dataset = materialize(args.name, args.scale, cache=cache)
+        except (KeyError, ValueError) as exc:  # bad ref or builder bounds
+            message = exc.args[0] if exc.args else exc
+            print(f"error: {message}", file=sys.stderr)
+            return 2
+        print(dataset.stats())
+        print(f"[materialized in {time.time() - t0:.2f}s"
+              + (f"; cached under {cache.root}" if cache is not None
+                 else "; not cached (--no-cache)") + "]")
         return 0
 
     if args.command == "compile":
@@ -190,25 +291,32 @@ def main(argv=None) -> int:
         # opt-in on-disk result cache: `repro run` stays execute-always
         # unless the user points it at a cache directory explicitly
         store = None
+        dataset_cache = None
         if args.cache_dir:
             from .experiments import ResultStore
+            from .workloads import DatasetCache, default_dataset_cache_dir
 
             store = ResultStore(args.cache_dir)
+            dataset_cache = DatasetCache(
+                default_dataset_cache_dir(args.cache_dir))
         runner = ExperimentRunner(
             scale=args.scale, verify=not args.no_verify, store=store,
+            dataset_cache=dataset_cache,
             tuned=registry, tuned_objective=args.objective)
         spec = RunSpec(app=args.app, variant=args.variant,
                        allocator=args.allocator, threshold=args.threshold,
-                       strategy=args.strategy)
+                       strategy=args.strategy, workload=args.workload)
         t0 = time.time()
         try:
             if args.variant == "tuned":
                 # the same selection _resolve_tuned uses, so the
                 # provenance line always describes the config that runs
-                entry = runner.tuned_entry(args.app)
+                entry = runner.tuned_entry(args.app, args.workload)
                 if entry is not None:
-                    print(f"tuned[{entry.objective}] via {entry.algorithm}: "
-                          f"{entry.candidate.describe()}")
+                    where = (f" on {entry.workload}" if entry.workload
+                             else "")
+                    print(f"tuned[{entry.objective}] via {entry.algorithm}"
+                          f"{where}: {entry.candidate.describe()}")
             run = runner.run_spec(spec)
         except ValueError as exc:  # e.g. variant/strategy contradiction
             print(f"error: {exc}", file=sys.stderr)
@@ -226,6 +334,10 @@ def main(argv=None) -> int:
         if run.report is not None:
             print(f"  {run.report.describe()}")
         print(run.metrics.summary())
+        if store is not None:
+            from .experiments.reporting import run_provenance
+
+            print(run_provenance(runner.stats))
         return 0
 
     if args.command == "tune":
@@ -237,11 +349,18 @@ def main(argv=None) -> int:
                     TunedConfigRegistry(default_tuned_path(args.cache_dir)))
         tuner = Tuner(scale=args.scale, store=_make_store(args),
                       registry=registry, jobs=args.jobs,
-                      verify=not args.no_verify)
+                      verify=not args.no_verify,
+                      dataset_cache=_make_dataset_cache(args))
         t0 = time.time()
-        result = tuner.tune(args.app, objective=args.objective,
-                            algorithm=args.search, budget=args.budget,
-                            seed=args.seed)
+        try:
+            result = tuner.tune(args.app, objective=args.objective,
+                                algorithm=args.search, budget=args.budget,
+                                seed=args.seed, workload=args.workload)
+        except (KeyError, ValueError) as exc:
+            # e.g. unknown app/workload or an app-incompatible workload
+            message = exc.args[0] if exc.args else exc
+            print(f"error: {message}", file=sys.stderr)
+            return 2
         print(result.describe())
         print(f"[tuning: {result.evaluations} evaluations "
               f"(--jobs {args.jobs}): {result.stats.describe()}; "
@@ -261,7 +380,8 @@ def main(argv=None) -> int:
                     TunedConfigRegistry(default_tuned_path(args.cache_dir)))
         tuner = Tuner(scale=args.scale, store=_make_store(args),
                       registry=registry, jobs=args.jobs,
-                      verify=not args.no_verify)
+                      verify=not args.no_verify,
+                      dataset_cache=_make_dataset_cache(args))
         t0 = time.time()
         print(tuned_vs_paper.compute(
             tuner, apps=args.apps, objective=args.objective,
@@ -274,15 +394,44 @@ def main(argv=None) -> int:
               f"{time.time() - t0:.1f}s; {saved}]")
         return 0
 
+    if args.command == "sensitivity":
+        from .experiments import ExperimentRunner, input_sensitivity
+        from .experiments.reporting import run_provenance
+
+        runner = ExperimentRunner(
+            scale=args.scale, verify=not args.no_verify,
+            store=_make_store(args), jobs=args.jobs,
+            dataset_cache=_make_dataset_cache(args))
+        t0 = time.time()
+        try:
+            plan = input_sensitivity.plan(runner, apps=args.apps)
+        except KeyError as exc:  # unknown app key in --apps
+            message = exc.args[0] if exc.args else exc
+            print(f"error: unknown app {message}", file=sys.stderr)
+            return 2
+        stats = runner.prefetch(plan, jobs=args.jobs)
+        print(f"[plan: {len(plan)} unique runs (--jobs {args.jobs}): "
+              f"{stats.describe()}; {time.time() - t0:.1f}s]\n")
+        print(input_sensitivity.main(runner, apps=args.apps))
+        print()
+        print(run_provenance(runner.stats))
+        return 0
+
     if args.command == "cache":
         from .experiments import ResultStore, default_cache_dir
         from .tuning import TunedConfigRegistry, default_tuned_path
+        from .workloads import DatasetCache, default_dataset_cache_dir
 
         store = ResultStore(args.cache_dir or default_cache_dir())
         tuned = TunedConfigRegistry(default_tuned_path(args.cache_dir))
+        datasets = DatasetCache(default_dataset_cache_dir(args.cache_dir))
         if args.action == "clear":
             removed = store.clear()
             print(f"removed {removed} cached runs from {store.root}")
+            removed_datasets = datasets.clear()
+            if removed_datasets:
+                print(f"removed {removed_datasets} cached datasets from "
+                      f"{datasets.root}")
             removed_configs = tuned.clear()
             if removed_configs:
                 print(f"removed {removed_configs} tuned configs from "
@@ -291,6 +440,9 @@ def main(argv=None) -> int:
             print(f"cache dir : {store.root}")
             print(f"entries   : {len(store)}")
             print(f"size      : {store.size_bytes() / 1024:.1f} KiB")
+            print(f"datasets  : {len(datasets)} cached "
+                  f"({datasets.size_bytes() / 1024:.1f} KiB, "
+                  f"{datasets.root})")
             print(f"tuned     : {len(tuned)} configs ({tuned.path})")
         return 0
 
@@ -299,7 +451,8 @@ def main(argv=None) -> int:
     from .experiments.reporting import run_provenance
 
     runner = ExperimentRunner(scale=args.scale, verify=not args.no_verify,
-                              store=_make_store(args), jobs=args.jobs)
+                              store=_make_store(args), jobs=args.jobs,
+                              dataset_cache=_make_dataset_cache(args))
     figures = list(FIGURES) if args.command == "all" else [args.command]
     t0 = time.time()
     plan = figure_plan(figures, runner)

@@ -1,5 +1,11 @@
 """Dataset containers and deterministic synthetic generators (DESIGN.md §2
-documents the substitutions for the paper's DIMACS/tree datasets)."""
+documents the substitutions for the paper's DIMACS/tree datasets).
+
+The generators are registered as *named workloads* in
+:mod:`repro.workloads`; ``uniform_random`` and the tree generators
+re-exported here are deprecated shims onto that registry (the CSR/tree
+containers and ``citeseer_like``/``kron_like`` remain canonical here).
+"""
 
 from .graphgen import citeseer_like, kron_like, uniform_random  # noqa: F401
 from .structures import Graph, Tree  # noqa: F401

@@ -91,19 +91,19 @@ def kron_like(scale: float = 1.0, seed: int = 2) -> Graph:
     u, v = u[dedup], v[dedup]
     # enforce the min-degree floor of 8 with ring edges, added in *both*
     # directions so the graph stays symmetric (GC's independent-set
-    # argument and BFS-Rec's level check both rely on symmetry)
+    # argument and BFS-Rec's level check both rely on symmetry); the
+    # lexsort below re-establishes one canonical edge order, so this
+    # vectorized form is array-identical to the per-node loop it replaced
     deg = np.bincount(u, minlength=n)
-    extra_u = [np.zeros(0, dtype=np.int64)]
-    extra_v = [np.zeros(0, dtype=np.int64)]
-    for node in np.nonzero(deg < 8)[0]:
-        need = 8 - deg[node]
-        targets = (node + 1 + np.arange(need)) % n
-        extra_u.append(np.full(need, node))
-        extra_v.append(targets)
-        extra_u.append(targets)
-        extra_v.append(np.full(need, node))
-    u = np.concatenate([u] + extra_u)
-    v = np.concatenate([v] + extra_v)
+    deficit = np.nonzero(deg < 8)[0]
+    if len(deficit):
+        need = 8 - deg[deficit]
+        rep = np.repeat(deficit, need)
+        ends = np.cumsum(need)
+        offsets = np.arange(ends[-1]) - np.repeat(ends - need, need) + 1
+        targets = (rep + offsets) % n
+        u = np.concatenate([u, rep, targets])
+        v = np.concatenate([v, targets, rep])
     order = np.lexsort((v, u))
     u, v = u[order], v[order]
     dedup = np.ones(len(u), dtype=bool)
@@ -117,11 +117,12 @@ def kron_like(scale: float = 1.0, seed: int = 2) -> Graph:
     max_deg = 1023
     deg = np.bincount(u, minlength=n)
     if deg.max() > max_deg:
-        keep = np.ones(len(u), dtype=bool)
+        # rank of every edge within its (sorted) source row; the cap
+        # keeps the first max_deg per row — vectorized equivalent of
+        # blanking each hot row's tail
         start = np.zeros(n + 1, dtype=np.int64)
         start[1:] = np.cumsum(deg)
-        for node in np.nonzero(deg > max_deg)[0]:
-            keep[start[node] + max_deg:start[node + 1]] = False
+        keep = np.arange(len(u)) - start[u] < max_deg
         fwd_key = u * n + v
         rev_key = v * n + u
         rev_pos = np.searchsorted(fwd_key, rev_key)
@@ -139,7 +140,20 @@ def kron_like(scale: float = 1.0, seed: int = 2) -> Graph:
 
 def uniform_random(n: int, avg_degree: int, seed: int = 3,
                    name: str = "uniform") -> Graph:
-    """Low-skew control graph (used by tests and ablations)."""
-    rng = np.random.default_rng(seed)
-    degrees = np.full(n, avg_degree, dtype=np.int64)
-    return _csr_from_degree_targets(name, rng, degrees)
+    """Low-skew control graph (used by tests and ablations).
+
+    .. deprecated::
+        Folded into the workload registry as the ``uniform`` workload;
+        call :func:`repro.workloads.generators.uniform_graph` (or
+        ``materialize("uniform", scale)``) instead. This shim delegates
+        (same arrays, same name) and will be removed.
+    """
+    import warnings
+
+    warnings.warn(
+        "graphgen.uniform_random is deprecated; use the 'uniform' "
+        "workload (repro.workloads.generators.uniform_graph)",
+        DeprecationWarning, stacklevel=2)
+    from ..workloads.generators import uniform_graph
+
+    return uniform_graph(n=n, avg_degree=avg_degree, seed=seed, name=name)

@@ -1,92 +1,44 @@
 """Synthetic tree generators reproducing the paper's tree datasets.
 
+.. deprecated::
+    Folded into the workload registry: the canonical implementations
+    live in :mod:`repro.workloads.generators` (workloads ``tree1`` and
+    ``tree2``, alongside the new ``tree-skewed``/``tree-balanced``/
+    ``tree-deep`` families and the level-budget :func:`grow_tree`
+    engine). These module-level functions remain as deprecated shims —
+    same seeds, same arrays — and will be removed.
+
 §V "Datasets": *dataset1* is a depth-5 tree whose nodes have 128-256
-children and only half of the non-leaf nodes have children; *dataset2* is a
-depth-5 tree with 32-128 children where all non-leaf nodes have children.
-
-At those fanouts the trees have millions of nodes — far beyond what a
-pure-Python interpreter should chew through per experiment. The generators
-keep the properties that drive the paper's mechanics:
-
-* **depth 5** (the DP recursion nesting the paper exercises);
-* **fanout at least the warp size** — child kernels must span multiple
-  warps, otherwise warp- and block-level consolidation degenerate into the
-  same thing (this is the load-bearing property; see DESIGN.md §2);
-* dataset1's 2x fanout ratio and 50% infertility vs dataset2's 4x ratio
-  and full fertility;
-
-and bound the node count with a *per-level budget* (fertile nodes are
-subsampled once a level would exceed it), trading the paper's raw scale
-for tractable simulation while leaving thousands of work items per level.
+children and only half of the non-leaf nodes have children; *dataset2* is
+a depth-5 tree with 32-128 children where all non-leaf nodes have
+children. See the ``grow_tree`` docstring for how the scaled generators
+preserve the properties that drive the paper's mechanics (depth,
+warp-spanning fanout, the per-level node budget).
 """
 
 from __future__ import annotations
 
-import numpy as np
+import warnings
 
 from .structures import Tree
 
 
-def _grow(name: str, rng, depth: int, fanout_lo: int, fanout_hi: int,
-          fertile_fraction: float, level_budget: int) -> Tree:
-    children_lists: list[list[int]] = [[]]
-    frontier = [0]
-    next_id = 1
-    avg_fanout = (fanout_lo + fanout_hi) / 2
-    for level in range(1, depth + 1):
-        if level == 1:
-            fertile = list(frontier)
-        else:
-            mask = rng.random(len(frontier)) < fertile_fraction
-            fertile = [u for u, keep in zip(frontier, mask) if keep]
-        max_fertile = max(1, int(level_budget / avg_fanout))
-        if len(fertile) > max_fertile:
-            picks = rng.choice(len(fertile), size=max_fertile, replace=False)
-            fertile = [fertile[i] for i in sorted(picks)]
-        new_frontier: list[int] = []
-        for u in fertile:
-            fanout = int(rng.integers(fanout_lo, fanout_hi + 1))
-            kids = list(range(next_id, next_id + fanout))
-            next_id += fanout
-            children_lists[u] = kids
-            children_lists.extend([] for _ in kids)
-            new_frontier.extend(kids)
-        frontier = new_frontier
-        if not frontier:
-            break
-    n = next_id
-    counts = np.array([len(children_lists[u]) for u in range(n)], dtype=np.int64)
-    child_ptr = np.zeros(n + 1, dtype=np.int64)
-    child_ptr[1:] = np.cumsum(counts)
-    child_idx = np.concatenate(
-        [np.array(children_lists[u], dtype=np.int32) for u in range(n)
-         if children_lists[u]]
-    ) if counts.sum() else np.zeros(0, dtype=np.int32)
-    values = rng.integers(1, 100, size=n).astype(np.int32)
-    tree = Tree(name, child_ptr, child_idx.astype(np.int32), values, depth)
-    tree.validate()
-    return tree
+def _shim(name: str, scale: float, seed: int) -> Tree:
+    warnings.warn(
+        f"treegen.{name} is deprecated; use the workload registry "
+        f"(repro.workloads.generators.{name} or materialize('tree1'/"
+        "'tree2', scale))",
+        DeprecationWarning, stacklevel=3)
+    from ..workloads import generators
+
+    return getattr(generators, name)(scale, seed=seed)
 
 
 def tree_dataset1(scale: float = 1.0, seed: int = 11) -> Tree:
-    """Paper dataset1, scaled: depth-5, fanout ratio 2 (paper: 128-256,
-    here 28-56), only half of the non-leaf nodes have children."""
-    rng = np.random.default_rng(seed)
-    lo = max(2, int(28 * scale))
-    hi = max(lo + 1, int(56 * scale))
-    budget = max(64, int(1500 * scale))
-    return _grow(f"tree_dataset1(x{scale:g})", rng, depth=5,
-                 fanout_lo=lo, fanout_hi=hi, fertile_fraction=0.5,
-                 level_budget=budget)
+    """Paper dataset1 (deprecated shim; see module docstring)."""
+    return _shim("tree_dataset1", scale, seed)
 
 
 def tree_dataset2(scale: float = 1.0, seed: int = 12) -> Tree:
-    """Paper dataset2, scaled: depth-5, fanout ratio 4 (paper: 32-128,
-    here 16-64), all non-leaf nodes have children."""
-    rng = np.random.default_rng(seed)
-    lo = max(2, int(16 * scale))
-    hi = max(lo + 1, int(64 * scale))
-    budget = max(64, int(1200 * scale))
-    return _grow(f"tree_dataset2(x{scale:g})", rng, depth=5,
-                 fanout_lo=lo, fanout_hi=hi, fertile_fraction=1.0,
-                 level_budget=budget)
+    """Paper dataset2 (deprecated shim; see module docstring)."""
+    return _shim("tree_dataset2", scale, seed)

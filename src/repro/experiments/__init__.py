@@ -31,6 +31,7 @@ from . import (  # noqa: F401
     fig8_warp_efficiency,
     fig9_occupancy,
     fig10_dram,
+    input_sensitivity,
     tuned_vs_paper,
 )
 from .plan import RunSpec, WorkPlan, union  # noqa: F401

@@ -43,12 +43,12 @@ def _kc_configs(spec) -> dict[str, LaunchConfig]:
 
 
 def register_datasets(runner: ExperimentRunner) -> list[str]:
-    from ..data.treegen import tree_dataset1, tree_dataset2
+    from ..workloads.generators import tree_dataset1, tree_dataset2
 
     names = ["dataset1", "dataset2"]
     try:
         runner.dataset(APP, "dataset1")
-    except KeyError:
+    except KeyError:  # not registered (and no such workload exists)
         runner.register_dataset(APP, "dataset1", tree_dataset1(runner.scale))
         runner.register_dataset(APP, "dataset2", tree_dataset2(runner.scale))
     return names

@@ -37,6 +37,14 @@ class RunSpec:
     (:func:`repro.apps.common.canonicalize_variant`), so
     ``('consolidated', strategy='warp')`` and ``('warp-level', None)``
     share one cache entry.
+
+    ``workload`` is a :mod:`repro.workloads` registry reference naming
+    the dataset to run on (``None`` means the app's default); the runner
+    canonicalizes references (parameter spellings collapse) and folds
+    the app's own default workload onto ``None``, so the axis preserves
+    every pre-existing cache key. ``dataset`` names a dataset explicitly
+    registered on the runner (:meth:`ExperimentRunner.register_dataset`,
+    e.g. Fig. 6's tree datasets) — at most one of the two may be set.
     """
 
     app: str
@@ -47,6 +55,7 @@ class RunSpec:
     cost: Optional[CostModel] = None
     threshold: Optional[int] = None
     strategy: Optional[str] = None
+    workload: Optional[str] = None
 
     @staticmethod
     def config_key(config: Optional[LaunchConfig]) -> Optional[tuple]:

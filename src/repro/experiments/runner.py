@@ -89,10 +89,16 @@ def _init_worker(datasets, device_spec, verify) -> None:
     _WORKER_STATE = (datasets, device_spec, verify)
 
 
+def _dataset_name(spec: RunSpec):
+    """The name the runner materializes for a spec: its workload
+    reference when set, else its registered-dataset name (or None)."""
+    return spec.workload if spec.workload is not None else spec.dataset
+
+
 def _execute_in_worker(spec: RunSpec) -> AppRun:
     datasets, device_spec, verify = _WORKER_STATE
-    return _execute(spec, datasets[(spec.app, spec.dataset)], device_spec,
-                    verify)
+    return _execute(spec, datasets[(spec.app, _dataset_name(spec))],
+                    device_spec, verify)
 
 
 def _pool_context():
@@ -114,6 +120,9 @@ class ExperimentRunner:
     verify: bool = True
     #: optional on-disk cache; None keeps the runner purely in-memory
     store: Optional[ResultStore] = None
+    #: optional on-disk cache of materialized datasets
+    #: (:class:`repro.workloads.DatasetCache`), typically beside ``store``
+    dataset_cache: Optional[object] = None
     #: default worker count for :meth:`prefetch`
     jobs: int = 1
     #: optional tuned-config registry backing the ``'tuned'`` variant
@@ -130,13 +139,32 @@ class ExperimentRunner:
     # -- datasets -------------------------------------------------------------
 
     def dataset(self, app_key: str, name: Optional[str] = None):
-        """Default (or registered) dataset for an app, cached."""
+        """The dataset an app runs on, cached per (app, name).
+
+        ``None`` is the app's default workload; other names resolve to
+        an explicitly registered dataset first (Fig. 6's tree datasets),
+        then to the workload registry — materialized at this runner's
+        scale, validated against the app's kind/symmetry requirements,
+        and served through the on-disk dataset cache when one is
+        attached."""
         key = (app_key, name)
         if key not in self._datasets:
-            if name is not None:
-                raise KeyError(f"dataset {name!r} not registered")
-            self._datasets[key] = get_app(app_key).default_dataset(self.scale)
+            from ..workloads import materialize_for_app
+
+            app = get_app(app_key)
+            self._datasets[key] = materialize_for_app(
+                app, name if name is not None else app.default_workload,
+                self.scale, cache=self.dataset_cache)
         return self._datasets[key]
+
+    def _canonical_workload(self, app_key: str,
+                            workload: Optional[str]) -> Optional[str]:
+        """Canonicalize a workload reference; the app's own default
+        folds onto None so the axis never forks pre-existing cache
+        entries (:func:`repro.workloads.canonical_for_app`)."""
+        from ..workloads import canonical_for_app
+
+        return canonical_for_app(get_app(app_key), workload)
 
     def register_dataset(self, app_key: str, name: str, dataset) -> None:
         self._datasets[(app_key, name)] = dataset
@@ -152,12 +180,13 @@ class ExperimentRunner:
 
     # -- keying ---------------------------------------------------------------
 
-    def tuned_entry(self, app: str):
+    def tuned_entry(self, app: str, workload: Optional[str] = None):
         """The stored tuned config the ``'tuned'`` variant would run for
-        an app: the exact entry for this runner's tuning context (device
-        spec, cost model, scale, verify flag, package version) when one
-        exists, else the closest stored match by scale and device.
-        Returns None when nothing matching is stored."""
+        an app x workload: the exact entry for this runner's tuning
+        context (device spec, cost model, scale, verify flag, package
+        version) when one exists, else the closest stored match by scale
+        and device *for the same workload*. Returns None when nothing
+        matching is stored."""
         if self.tuned is None:
             raise RuntimeError(
                 "the 'tuned' variant needs a tuned-config registry "
@@ -166,14 +195,17 @@ class ExperimentRunner:
         from .. import __version__
         from ..tuning.registry import tuned_key
 
+        workload = self._canonical_workload(app, workload)
         key = tuned_key(app=app, objective=self.tuned_objective,
                         spec=self.spec, cost=self.cost, scale=self.scale,
-                        verify=self.verify, version=__version__)
+                        verify=self.verify, version=__version__,
+                        workload=workload)
         entry = self.tuned.get(key)
         if entry is None:
             entry = self.tuned.lookup(app, self.tuned_objective,
                                       scale=self.scale,
-                                      device=self.spec.name)
+                                      device=self.spec.name,
+                                      workload=workload)
         return entry
 
     def _resolve_tuned(self, spec: RunSpec) -> RunSpec:
@@ -185,10 +217,12 @@ class ExperimentRunner:
                 "variant 'tuned' takes its strategy from the stored "
                 f"config; drop the explicit strategy {spec.strategy!r} "
                 "or use variant 'consolidated'")
-        entry = self.tuned_entry(spec.app)
+        entry = self.tuned_entry(spec.app, spec.workload)
         if entry is None:
+            what = (f"app {spec.app!r}" if spec.workload is None else
+                    f"app {spec.app!r} / workload {spec.workload!r}")
             raise KeyError(
-                f"no tuned config for app {spec.app!r} / objective "
+                f"no tuned config for {what} / objective "
                 f"{self.tuned_objective!r} in {self.tuned.path}; run "
                 f"`repro tune {spec.app}` first")
         cand = entry.candidate
@@ -205,6 +239,14 @@ class ExperimentRunner:
         """Fill runner/app defaults so the spec fully determines the run."""
         from ..apps.common import TUNED, canonicalize_variant
 
+        workload = self._canonical_workload(spec.app, spec.workload)
+        if workload is not None and spec.dataset is not None:
+            raise ValueError(
+                "a RunSpec takes either a registered dataset name or a "
+                f"workload reference, not both (got dataset="
+                f"{spec.dataset!r}, workload={spec.workload!r})")
+        if workload != spec.workload:
+            spec = replace(spec, workload=workload)
         if spec.variant == TUNED:
             spec = self._resolve_tuned(spec)
         variant, strategy = canonicalize_variant(spec.variant, spec.strategy)
@@ -225,13 +267,15 @@ class ExperimentRunner:
             variant=resolved.variant,
             allocator=resolved.allocator,
             config=resolved.config,
-            dataset_fp=self._fingerprint(resolved.app, resolved.dataset),
+            dataset_fp=self._fingerprint(resolved.app,
+                                         _dataset_name(resolved)),
             cost=resolved.cost,
             spec=self.spec,
             threshold=resolved.threshold,
             verify=self.verify,
             version=__version__,
             strategy=resolved.strategy,
+            workload=resolved.workload,
         )
 
     # -- execution ------------------------------------------------------------
@@ -262,7 +306,8 @@ class ExperimentRunner:
         resolved = self._resolve(spec)
         run = self._lookup(resolved)
         if run is None:
-            run = _execute(resolved, self.dataset(resolved.app, resolved.dataset),
+            run = _execute(resolved,
+                           self.dataset(resolved.app, _dataset_name(resolved)),
                            self.spec, self.verify)
             self._admit(resolved, run)
         return run
@@ -272,11 +317,13 @@ class ExperimentRunner:
             dataset_name: Optional[str] = None,
             cost: Optional[CostModel] = None,
             threshold: Optional[int] = None,
-            strategy: Optional[str] = None) -> AppRun:
+            strategy: Optional[str] = None,
+            workload: Optional[str] = None) -> AppRun:
         return self.run_spec(RunSpec(
             app=app_key, variant=variant, allocator=allocator,
             config=RunSpec.config_key(config), dataset=dataset_name,
             cost=cost, threshold=threshold, strategy=strategy,
+            workload=workload,
         ))
 
     def prefetch(self, specs: Iterable[RunSpec],
@@ -297,7 +344,8 @@ class ExperimentRunner:
             if resolved not in missing and self._lookup(resolved) is None:
                 missing.add(resolved)
         pending = list(missing)
-        datasets = {(r.app, r.dataset): self.dataset(r.app, r.dataset)
+        datasets = {(r.app, _dataset_name(r)):
+                    self.dataset(r.app, _dataset_name(r))
                     for r in pending}
         if jobs > 1 and len(pending) > 1:
             workers = min(jobs, len(pending))
@@ -312,7 +360,7 @@ class ExperimentRunner:
         else:
             for resolved in pending:
                 self._admit(resolved, _execute(
-                    resolved, datasets[(resolved.app, resolved.dataset)],
+                    resolved, datasets[(resolved.app, _dataset_name(resolved))],
                     self.spec, self.verify))
         return RunStats(
             executed=self.stats.executed - before.executed,
@@ -323,7 +371,8 @@ class ExperimentRunner:
     # -- helpers --------------------------------------------------------------
 
     def speedup_over_basic(self, app_key: str, variant: str, **kw) -> float:
-        base = self.run(app_key, "basic-dp", **{k: v for k, v in kw.items()
-                                                if k == "dataset_name"})
+        base = self.run(app_key, "basic-dp",
+                        **{k: v for k, v in kw.items()
+                           if k in ("dataset_name", "workload")})
         other = self.run(app_key, variant, **kw)
         return base.metrics.cycles / other.metrics.cycles

@@ -76,13 +76,22 @@ def dataset_fingerprint(dataset) -> str:
 def run_key(*, app: str, variant: str, allocator: str,
             config: Optional[tuple], dataset_fp: str,
             cost, spec, threshold: int, verify: bool,
-            version: str, strategy: Optional[str] = None) -> str:
+            version: str, strategy: Optional[str] = None,
+            workload: Optional[str] = None) -> str:
     """Stable content address for one application run.
 
     ``strategy`` is the consolidation-strategy axis; it is ``None`` for
     the built-in granularities (their canonical spelling is the variant
     itself) and a registry name for plugin strategies running under the
     ``'consolidated'`` variant.
+
+    ``workload`` is the canonical workload reference, already folded
+    onto ``None`` for each app's default by the runner. It enters the
+    payload **only when set**: the dataset's content is fully captured
+    by ``dataset_fp`` (the name is provenance, guarding against two
+    workloads that happen to collide on content), and omitting the
+    ``None`` case keeps every pre-PR-4 key byte-identical — which is why
+    the workload axis did *not* bump ``STORE_FORMAT`` (DESIGN.md §12).
     """
     payload = {
         "format": STORE_FORMAT,
@@ -98,6 +107,8 @@ def run_key(*, app: str, variant: str, allocator: str,
         "threshold": threshold,
         "verify": verify,
     }
+    if workload is not None:
+        payload["workload"] = workload
     blob = json.dumps(payload, sort_keys=True, default=str)
     return hashlib.sha256(blob.encode()).hexdigest()
 

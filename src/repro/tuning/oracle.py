@@ -48,9 +48,14 @@ class SimulationOracle:
                  spec: DeviceSpec = K20C,
                  cost: Optional[CostModel] = None,
                  store=None, jobs: int = 1, verify: bool = True,
-                 runner: Optional[ExperimentRunner] = None):
+                 runner: Optional[ExperimentRunner] = None,
+                 workload=None, dataset_cache=None):
         self.app = app
         self.objective: Objective = get_objective(objective)
+        #: canonical workload reference every candidate is scored on
+        #: (None: the app's default dataset)
+        self.workload = workload
+        self.dataset_cache = dataset_cache
         if runner is not None:
             # pin full-fidelity evaluations to an existing runner (and
             # share its store/device/cost/parallelism with any
@@ -89,7 +94,8 @@ class SimulationOracle:
         if scale not in self._runners:
             self._adopt(ExperimentRunner(
                 scale=scale, spec=self.spec, cost=self.cost,
-                verify=self.verify, store=self.store, jobs=self.jobs))
+                verify=self.verify, store=self.store, jobs=self.jobs,
+                dataset_cache=self.dataset_cache))
         return self._runners[scale]
 
     # -- evaluation ------------------------------------------------------------
@@ -103,7 +109,8 @@ class SimulationOracle:
         """
         candidates = list(candidates)
         runner = self.runner_for(factor)
-        specs = [c.run_spec(self.app, self.spec) for c in candidates]
+        specs = [c.run_spec(self.app, self.spec, workload=self.workload)
+                 for c in candidates]
         runner.prefetch(specs, jobs=self.jobs)
         trials = []
         for cand, spec in zip(candidates, specs):

@@ -44,8 +44,15 @@ def default_tuned_path(cache_dir=None) -> Path:
 
 
 def tuned_key(*, app: str, objective: str, spec, cost, scale: float,
-              verify: bool, version: str) -> str:
-    """Stable content address for one tuning problem."""
+              verify: bool, version: str,
+              workload: Optional[str] = None) -> str:
+    """Stable content address for one tuning problem.
+
+    ``workload`` (a canonical :mod:`repro.workloads` reference, already
+    folded onto ``None`` for the app's default) enters the payload only
+    when set, so pre-workload tuned entries keep their slots — the same
+    compatibility rule as :func:`repro.experiments.store.run_key`.
+    """
     payload = {
         "format": TUNED_FORMAT,
         "version": version,
@@ -56,6 +63,8 @@ def tuned_key(*, app: str, objective: str, spec, cost, scale: float,
         "scale": scale,
         "verify": verify,
     }
+    if workload is not None:
+        payload["workload"] = workload
     blob = json.dumps(payload, sort_keys=True, default=str)
     return hashlib.sha256(blob.encode()).hexdigest()
 
@@ -77,6 +86,9 @@ class TunedConfig:
     scale: float
     device: str
     version: str
+    #: canonical workload the config was tuned on (None: app default);
+    #: defaulted so pre-workload registry files still deserialize
+    workload: Optional[str] = None
 
     def to_json(self) -> dict:
         d = dataclasses.asdict(self)
@@ -169,15 +181,18 @@ class TunedConfigRegistry:
 
     def lookup(self, app: str, objective: str = "cycles",
                scale: Optional[float] = None,
-               device: Optional[str] = None) -> Optional[TunedConfig]:
-        """Best stored config for an app x objective.
+               device: Optional[str] = None,
+               workload: Optional[str] = None) -> Optional[TunedConfig]:
+        """Best stored config for an app x objective x workload.
 
-        With several matching entries (e.g. tuned at different scales or
-        for different simulated devices), prefers an exact scale match
-        and an exact device match when given, then the largest tuning
-        scale (closest to the real workload), then the best objective
-        value *in the objective's better-direction*, breaking remaining
-        ties deterministically.
+        Only entries tuned on the *same* workload are considered (a
+        config tuned on ``star`` must never shadow the default-dataset
+        slot, and vice versa). With several matching entries (e.g.
+        tuned at different scales or for different simulated devices),
+        prefers an exact scale match and an exact device match when
+        given, then the largest tuning scale (closest to the real
+        workload), then the best objective value *in the objective's
+        better-direction*, breaking remaining ties deterministically.
         """
         from .objectives import get_objective
 
@@ -187,7 +202,8 @@ class TunedConfigRegistry:
             def loss(value):
                 return value
         matches = [c for c in self.entries()
-                   if c.app == app and c.objective == objective]
+                   if c.app == app and c.objective == objective
+                   and c.workload == workload]
         if not matches:
             return None
         for attr, want in (("scale", scale), ("device", device)):

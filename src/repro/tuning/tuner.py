@@ -59,8 +59,10 @@ class TuningResult:
 
     def describe(self) -> str:
         obj = self.objective
+        where = (f" on {self.config.workload}"
+                 if self.config.workload is not None else "")
         lines = [
-            f"Tuned {get_app(self.app).label} for {obj.name} "
+            f"Tuned {get_app(self.app).label} for {obj.name}{where} "
             f"({self.algorithm}, {self.evaluations} evaluations)",
             f"  best  : {self.best.candidate.describe()} "
             f"-> {obj.format(self.best.value)}",
@@ -87,28 +89,45 @@ class Tuner:
     registry: Optional[TunedConfigRegistry] = None
     jobs: int = 1
     verify: bool = True
+    #: optional on-disk cache of materialized datasets shared by every
+    #: fidelity runner (:class:`repro.workloads.DatasetCache`)
+    dataset_cache: object = None
     #: run provenance accumulated across every tune() call
     stats: RunStats = field(default_factory=RunStats, repr=False)
 
-    def _oracle(self, app: str, objective: Objective) -> SimulationOracle:
+    def _oracle(self, app: str, objective: Objective,
+                workload=None) -> SimulationOracle:
         return SimulationOracle(
             app, objective, scale=self.scale, spec=self.spec, cost=self.cost,
-            store=self.store, jobs=self.jobs, verify=self.verify)
+            store=self.store, jobs=self.jobs, verify=self.verify,
+            workload=workload, dataset_cache=self.dataset_cache)
+
+    def _canonical_workload(self, app: str, workload):
+        """Same default-folding rule as the experiment runner (shared
+        via :func:`repro.workloads.canonical_for_app`): the app's own
+        default workload tunes (and stores) as None."""
+        from ..workloads import canonical_for_app
+
+        return canonical_for_app(get_app(app), workload)
 
     def tune(self, app: str, objective="cycles", algorithm: str = "halving",
              space: Optional[TuningSpace] = None,
-             budget: Optional[int] = None, seed: int = 0) -> TuningResult:
+             budget: Optional[int] = None, seed: int = 0,
+             workload: Optional[str] = None) -> TuningResult:
         """Search the space for one app; persist and return the winner.
 
         Deterministic for fixed ``(space, algorithm, budget, seed)``:
         a repeated call issues the identical evaluation sequence, so
         against a warm result store it executes zero simulations.
+        ``workload`` tunes against a named dataset instead of the app's
+        default; the winner persists in a per-workload registry slot.
         """
         get_app(app)  # validate the key before any simulation
         obj = get_objective(objective)
+        workload = self._canonical_workload(app, workload)
         space = space if space is not None else TuningSpace.for_app(app)
         algo = get_search(algorithm)
-        oracle = self._oracle(app, obj)
+        oracle = self._oracle(app, obj, workload=workload)
 
         trials = list(algo.search(oracle, space.candidates(),
                                   budget=budget, seed=seed))
@@ -129,12 +148,14 @@ class Tuner:
 
         key = tuned_key(app=app, objective=obj.name, spec=self.spec,
                         cost=oracle.cost, scale=self.scale,
-                        verify=self.verify, version=__version__)
+                        verify=self.verify, version=__version__,
+                        workload=workload)
         config = TunedConfig(
             app=app, objective=obj.name, candidate=best.candidate,
             value=best.value, baseline_value=baseline.value,
             algorithm=algo.name, evaluations=len(trials),
             scale=self.scale, device=self.spec.name, version=__version__,
+            workload=workload,
         )
         if self.registry is not None:
             self.registry.put(key, config)

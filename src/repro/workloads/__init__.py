@@ -1,0 +1,62 @@
+"""``repro.workloads`` — the dataset/scenario subsystem.
+
+Every headline effect the paper measures (warp-efficiency recovery,
+child-launch counts, the KC_X trade-off) is driven by *input shape*:
+degree skew, hub size, tree balance. This package makes input shape a
+first-class, swappable axis instead of a per-app constant:
+
+* :mod:`~repro.workloads.spec` — :class:`WorkloadSpec` and the named
+  registry; references like ``"citeseer(seed=31)"`` canonicalize so
+  every spelling of one dataset shares one cache entry;
+* :mod:`~repro.workloads.generators` — the synthetic families
+  (absorbing :mod:`repro.data.graphgen`/``treegen`` plus road/star/
+  chain/bimodal graphs and skewed/balanced/deep tree variants);
+* :mod:`~repro.workloads.loaders` — real-format loaders (DIMACS ``.gr``,
+  Matrix Market ``.mtx``, SNAP edge lists), gzip-aware and chunk-
+  streamed, with a checked-in fixture registered as ``usa-tiny``;
+* :mod:`~repro.workloads.cache` — a content-addressed on-disk
+  :class:`DatasetCache` beside the run ResultStore.
+
+Consumers: ``RunSpec.workload`` / ``repro run --workload`` (the runner
+validates kind and symmetry per app and canonicalizes each app's
+default workload onto ``None``, preserving existing cache keys —
+DESIGN.md §12), ``repro tune --workload`` (tuned configs are stored per
+workload), ``repro workloads list|gen|info``, and the
+``repro sensitivity`` sweep (:mod:`repro.experiments.input_sensitivity`).
+"""
+
+# spec first: it has no dependency on repro.experiments, so the names
+# below are bound even if importing .cache re-enters this package
+# through the experiments import chain
+from .spec import (  # noqa: F401
+    KINDS,
+    WorkloadSpec,
+    available_workloads,
+    canonical_for_app,
+    canonical_workload,
+    get_workload,
+    incompatibility,
+    materialize,
+    materialize_for_app,
+    parse_workload,
+    register_workload,
+    resolve_workload,
+    unregister_workload,
+)
+from .cache import (  # noqa: F401
+    DATASET_FORMAT,
+    DatasetCache,
+    dataset_key,
+    default_dataset_cache_dir,
+)
+
+# importing these modules populates the registry
+from . import generators  # noqa: E402,F401
+from . import loaders  # noqa: E402,F401
+from .loaders import (  # noqa: F401
+    file_workload,
+    load_dimacs_gr,
+    load_graph,
+    load_matrix_market,
+    load_snap_edgelist,
+)

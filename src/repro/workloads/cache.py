@@ -1,0 +1,69 @@
+"""Content-addressed on-disk cache for materialized datasets.
+
+Workload sweeps (``repro sensitivity``, per-workload tuning) materialize
+many graphs and trees per invocation; generating a scaled Kronecker
+graph costs real time, and every worker process would otherwise pay it
+again. This cache stores pickled :class:`~repro.data.structures.Graph`
+/:class:`~repro.data.structures.Tree` objects **beside the run
+ResultStore** (``<cache-dir>/datasets/``), addressed by everything that
+determines the materialization: the canonical workload name, the fully
+resolved parameters, the scale, the backing file's content hash (for
+loader workloads), the dataset-format number and the package version —
+so a generator change invalidates cached datasets exactly the way a
+cost-model change invalidates cached runs.
+
+Storage reuses :class:`~repro.experiments.store.ResultStore` (sharded
+atomic pickles, lazy directory creation, corrupt-entry eviction): the
+semantics wanted here are identical, only the payload differs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from ..experiments.store import ResultStore, default_cache_dir
+
+#: bump to invalidate every cached dataset on a materialization change
+DATASET_FORMAT = 1
+
+#: subdirectory of the cache dir holding dataset pickles
+DATASET_SUBDIR = "datasets"
+
+
+def default_dataset_cache_dir(cache_dir=None) -> Path:
+    """Dataset-cache location for a cache directory (default: beside the
+    run store under :func:`~repro.experiments.store.default_cache_dir`)."""
+    root = Path(cache_dir) if cache_dir else default_cache_dir()
+    return root / DATASET_SUBDIR
+
+
+def dataset_key(spec, params: dict, scale: float) -> str:
+    """Stable content address for one materialization.
+
+    File-backed workloads hash the backing file's bytes instead of the
+    scale (the file is the dataset; scale is ignored by its builder), so
+    every scale shares one cached parse and edits force a reload.
+    """
+    from .. import __version__
+
+    source = spec.source_fingerprint()
+    payload = {
+        "format": DATASET_FORMAT,
+        "version": __version__,
+        "workload": spec.canonical(params),
+        "kind": spec.kind,
+        "params": {k: params[k] for k in sorted(params)},
+        "scale": scale if source is None else None,
+        "source": source,
+    }
+    blob = json.dumps(payload, sort_keys=True, default=str)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+class DatasetCache(ResultStore):
+    """Filesystem-backed map from dataset key to pickled Graph/Tree."""
+
+    def __repr__(self) -> str:
+        return f"DatasetCache({str(self.root)!r})"

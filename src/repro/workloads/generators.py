@@ -1,0 +1,352 @@
+"""Named, parameterized synthetic workloads.
+
+This module absorbs the free functions of :mod:`repro.data.graphgen` and
+:mod:`repro.data.treegen` behind registry entries and adds the scenario
+families the paper's fixed datasets cannot express:
+
+* **road** — a road-network-like lattice: almost every node has degree
+  2-4 (below any delegation threshold), with sparse higher-degree
+  interchange nodes, so child kernels are *rare and tiny* — the regime
+  where grid-level designated-launcher/barrier overhead has nothing to
+  amortize against;
+* **star** — a hub-adversarial graph: a couple of hubs adjacent to every
+  other node (capped at the 1024-thread block limit), the extreme of the
+  paper's skew argument;
+* **chain** — a spider of long chains hanging off one hub: maximal
+  sequential depth per work item at bounded diameter (so iterative apps
+  still converge), stressing consolidation's latency rather than its
+  width;
+* **bimodal** — a two-mode degree mixture (a sea of small rows plus a
+  heavy minority above the threshold), the shape where the delegation
+  guard itself does the heavy lifting;
+* **tree-skewed / tree-balanced / tree-deep** — sibling-fanout variance
+  (warp imbalance), perfectly regular fanout (no imbalance to recover),
+  and doubled recursion depth.
+
+Every builder is deterministic for a given seed; the per-app default
+datasets (``citeseer(seed=31)`` etc.) produce byte-identical arrays to
+the pre-registry ``default_dataset`` implementations, which is what
+keeps existing result-store entries valid (DESIGN.md §12).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..data.graphgen import _csr_from_degree_targets, citeseer_like, kron_like
+from ..data.structures import Graph, Tree
+from .spec import WorkloadSpec, register_workload
+
+#: adjacency lists are capped at one thread block, like the generators in
+#: repro.data.graphgen: basic-dp child kernels launch <<<1, deg>>>
+MAX_BLOCK_DEGREE = 1023
+
+
+# -- graph builders ------------------------------------------------------------
+
+
+def uniform_graph(scale: float = 1.0, *, n: int = 0, avg_degree: int = 8,
+                  seed: int = 3, name: str = "") -> Graph:
+    """Low-skew control graph: every node has exactly ``avg_degree``
+    out-edges (targets still follow preferential attachment).
+
+    Canonical home of the former :func:`repro.data.graphgen.uniform_random`
+    (which remains as a deprecated shim); ``n == 0`` sizes the graph from
+    ``scale`` the way the other workload builders do.
+    """
+    if n <= 0:
+        n = max(64, int(800 * scale))
+        name = name or f"uniform(x{scale:g})"
+    rng = np.random.default_rng(seed)
+    degrees = np.full(n, avg_degree, dtype=np.int64)
+    return _csr_from_degree_targets(name or "uniform", rng, degrees)
+
+
+def _symmetric_graph(name: str, n: int, u: np.ndarray, v: np.ndarray,
+                     rng) -> Graph:
+    """Symmetrize, dedup, drop self loops, and build a validated CSR."""
+    uu = np.concatenate([u, v])
+    vv = np.concatenate([v, u])
+    keep = uu != vv
+    uu, vv = uu[keep], vv[keep]
+    order = np.lexsort((vv, uu))
+    uu, vv = uu[order], vv[order]
+    dedup = np.ones(len(uu), dtype=bool)
+    dedup[1:] = (uu[1:] != uu[:-1]) | (vv[1:] != vv[:-1])
+    uu, vv = uu[dedup], vv[dedup]
+    row_ptr = np.zeros(n + 1, dtype=np.int64)
+    np.add.at(row_ptr, uu + 1, 1)
+    row_ptr = np.cumsum(row_ptr)
+    weights = rng.integers(1, 11, size=len(uu)).astype(np.int32)
+    g = Graph(name, row_ptr.astype(np.int64), vv.astype(np.int32), weights)
+    g.validate()
+    return g
+
+
+def road_grid(scale: float = 1.0, *, seed: int = 4,
+              junction_every: int = 13) -> Graph:
+    """Road-like lattice: a ``side x side`` 4-neighbour grid plus sparse
+    higher-degree interchanges (every ``junction_every``-th node gains
+    eight chords), symmetric."""
+    side = max(8, int(round(28 * math.sqrt(max(scale, 1e-6)))))
+    n = side * side
+    rng = np.random.default_rng(seed)
+    idx = np.arange(n)
+    right = idx[idx % side != side - 1]
+    down = idx[idx < n - side]
+    u = np.concatenate([right, down])
+    v = np.concatenate([right + 1, down + side])
+    junctions = idx[::junction_every]
+    offsets = np.array([2, 3, side + 1, side + 2, 2 * side + 1,
+                        2 * side + 3, 3 * side + 2, 3 * side + 5])
+    ju = np.repeat(junctions, len(offsets))
+    jv = (ju + np.tile(offsets, len(junctions))) % n
+    u = np.concatenate([u, ju])
+    v = np.concatenate([v, jv])
+    return _symmetric_graph(f"road(x{scale:g})", n, u, v, rng)
+
+
+def star_hubs(scale: float = 1.0, *, hubs: int = 2, seed: int = 5) -> Graph:
+    """Hub-adversarial graph: ``hubs`` nodes adjacent to every other node
+    (hub degree capped at the block limit), symmetric — all the work sits
+    in a handful of enormous child kernels."""
+    if hubs < 1:
+        raise ValueError(f"star needs at least one hub, got {hubs}")
+    n = max(96, min(int(900 * scale), MAX_BLOCK_DEGREE + 1))
+    hubs = min(hubs, n - 1)
+    rng = np.random.default_rng(seed)
+    hub = np.repeat(np.arange(hubs), n - hubs)
+    leaf = np.tile(np.arange(hubs, n), hubs)
+    # hubs also form a clique so the graph stays connected at hubs > 1
+    hu, hv = np.triu_indices(hubs, k=1)
+    u = np.concatenate([hub, hu])
+    v = np.concatenate([leaf, hv])
+    return _symmetric_graph(f"star(x{scale:g})", n, u, v, rng)
+
+
+def chain_spider(scale: float = 1.0, *, depth: int = 40,
+                 seed: int = 6) -> Graph:
+    """A spider: ``width`` chains of ``depth`` nodes hanging off node 0,
+    symmetric. Diameter stays ``2 * depth`` regardless of scale, so
+    iterative apps converge, while each work item is maximally serial."""
+    if depth < 1:
+        raise ValueError(f"chain depth must be >= 1, got {depth}")
+    width = max(4, min(int(30 * scale), MAX_BLOCK_DEGREE))
+    n = 1 + width * depth
+    rng = np.random.default_rng(seed)
+    heads = 1 + depth * np.arange(width)
+    links = np.arange(1, n)
+    links = links[(links - 1) % depth != depth - 1]  # chain-internal
+    u = np.concatenate([np.zeros(width, dtype=np.int64), links])
+    v = np.concatenate([heads, links + 1])
+    return _symmetric_graph(f"chain(x{scale:g})", n, u, v, rng)
+
+
+def bimodal_graph(scale: float = 1.0, *, low: int = 4, high: int = 192,
+                  high_fraction: float = 0.05, seed: int = 7) -> Graph:
+    """Two-mode degree mixture: most nodes hold ~``low`` edges (below the
+    delegation thresholds), a ``high_fraction`` minority ~``high`` (well
+    above), directed with preferential-attachment targets."""
+    if low < 1 or high < 1:
+        raise ValueError(
+            f"bimodal degree modes must be >= 1, got low={low} "
+            f"high={high}")
+    rng = np.random.default_rng(seed)
+    n = max(96, int(1000 * scale))
+    degrees = np.maximum(1, rng.poisson(low, n)).astype(np.int64)
+    heavy = rng.random(n) < high_fraction
+    # both bounds clamp to the block limit so an oversized 'high' still
+    # samples a non-empty range instead of tripping numpy's low >= high
+    lo = min(high // 2 + 1, MAX_BLOCK_DEGREE)
+    hi = min(2 * high, MAX_BLOCK_DEGREE)
+    degrees[heavy] = rng.integers(lo, hi + 1, size=int(heavy.sum()))
+    return _csr_from_degree_targets(f"bimodal(x{scale:g})", rng, degrees)
+
+
+# -- tree builders -------------------------------------------------------------
+
+
+def grow_tree(name: str, rng, depth: int, fanout_lo: int, fanout_hi: int,
+              fertile_fraction: float, level_budget: int) -> Tree:
+    """Level-by-level tree growth with a per-level node budget.
+
+    Canonical home of the former ``repro.data.treegen._grow`` (the
+    module-level generators there are deprecated shims onto the registry
+    entries below); see that module's docstring for the scaling
+    argument.
+    """
+    children_lists: list[list[int]] = [[]]
+    frontier = [0]
+    next_id = 1
+    avg_fanout = (fanout_lo + fanout_hi) / 2
+    for level in range(1, depth + 1):
+        if level == 1:
+            fertile = list(frontier)
+        else:
+            mask = rng.random(len(frontier)) < fertile_fraction
+            fertile = [u for u, keep in zip(frontier, mask) if keep]
+        max_fertile = max(1, int(level_budget / avg_fanout))
+        if len(fertile) > max_fertile:
+            picks = rng.choice(len(fertile), size=max_fertile, replace=False)
+            fertile = [fertile[i] for i in sorted(picks)]
+        new_frontier: list[int] = []
+        for u in fertile:
+            fanout = int(rng.integers(fanout_lo, fanout_hi + 1))
+            kids = list(range(next_id, next_id + fanout))
+            next_id += fanout
+            children_lists[u] = kids
+            children_lists.extend([] for _ in kids)
+            new_frontier.extend(kids)
+        frontier = new_frontier
+        if not frontier:
+            break
+    n = next_id
+    counts = np.array([len(children_lists[u]) for u in range(n)],
+                      dtype=np.int64)
+    child_ptr = np.zeros(n + 1, dtype=np.int64)
+    child_ptr[1:] = np.cumsum(counts)
+    child_idx = np.concatenate(
+        [np.array(children_lists[u], dtype=np.int32) for u in range(n)
+         if children_lists[u]]
+    ) if counts.sum() else np.zeros(0, dtype=np.int32)
+    values = rng.integers(1, 100, size=n).astype(np.int32)
+    tree = Tree(name, child_ptr, child_idx.astype(np.int32), values, depth)
+    tree.validate()
+    return tree
+
+
+def tree_dataset1(scale: float = 1.0, *, seed: int = 11) -> Tree:
+    """Paper dataset1, scaled: depth-5, fanout ratio 2 (paper: 128-256,
+    here 28-56), only half of the non-leaf nodes have children."""
+    rng = np.random.default_rng(seed)
+    lo = max(2, int(28 * scale))
+    hi = max(lo + 1, int(56 * scale))
+    budget = max(64, int(1500 * scale))
+    return grow_tree(f"tree_dataset1(x{scale:g})", rng, depth=5,
+                     fanout_lo=lo, fanout_hi=hi, fertile_fraction=0.5,
+                     level_budget=budget)
+
+
+def tree_dataset2(scale: float = 1.0, *, seed: int = 12) -> Tree:
+    """Paper dataset2, scaled: depth-5, fanout ratio 4 (paper: 32-128,
+    here 16-64), all non-leaf nodes have children."""
+    rng = np.random.default_rng(seed)
+    lo = max(2, int(16 * scale))
+    hi = max(lo + 1, int(64 * scale))
+    budget = max(64, int(1200 * scale))
+    return grow_tree(f"tree_dataset2(x{scale:g})", rng, depth=5,
+                     fanout_lo=lo, fanout_hi=hi, fertile_fraction=1.0,
+                     level_budget=budget)
+
+
+def tree_skewed(scale: float = 1.0, *, seed: int = 13) -> Tree:
+    """Depth-5 tree with extreme sibling-fanout variance (4..160) and
+    sparse fertility — the warp-imbalance adversary."""
+    rng = np.random.default_rng(seed)
+    hi = max(6, int(160 * scale))
+    budget = max(64, int(1400 * scale))
+    return grow_tree(f"tree_skewed(x{scale:g})", rng, depth=5,
+                     fanout_lo=4, fanout_hi=hi, fertile_fraction=0.3,
+                     level_budget=budget)
+
+
+def tree_balanced(scale: float = 1.0, *, seed: int = 14) -> Tree:
+    """Depth-5 tree with one exact fanout everywhere and full fertility —
+    no imbalance for consolidation to recover."""
+    rng = np.random.default_rng(seed)
+    fanout = max(4, int(32 * scale))
+    budget = max(64, int(1300 * scale))
+    return grow_tree(f"tree_balanced(x{scale:g})", rng, depth=5,
+                     fanout_lo=fanout, fanout_hi=fanout,
+                     fertile_fraction=1.0, level_budget=budget)
+
+
+def tree_deep(scale: float = 1.0, *, seed: int = 15) -> Tree:
+    """Depth-9 tree with modest fanout — recursion- (nesting-) heavy
+    rather than fanout-heavy."""
+    rng = np.random.default_rng(seed)
+    lo = max(2, int(6 * scale))
+    hi = max(lo + 1, int(20 * scale))
+    budget = max(48, int(500 * scale))
+    return grow_tree(f"tree_deep(x{scale:g})", rng, depth=9,
+                     fanout_lo=lo, fanout_hi=hi, fertile_fraction=0.65,
+                     level_budget=budget)
+
+
+# -- registration --------------------------------------------------------------
+
+GENERATOR_WORKLOADS = (
+    WorkloadSpec(
+        "citeseer", "graph",
+        "heavy-tailed citation-network stand-in (paper: CiteSeer)",
+        lambda scale, seed: citeseer_like(scale, seed=seed),
+        defaults={"seed": 1}),
+    WorkloadSpec(
+        "kron", "graph",
+        "R-MAT/Kronecker hub-dominated graph (paper: kron_g500-logn16)",
+        lambda scale, seed: kron_like(scale, seed=seed),
+        defaults={"seed": 2}, symmetric=True),
+    WorkloadSpec(
+        "uniform", "graph",
+        "low-skew control graph with one fixed out-degree",
+        lambda scale, seed, avg_degree: uniform_graph(
+            scale, seed=seed, avg_degree=avg_degree),
+        defaults={"seed": 3, "avg_degree": 8}),
+    WorkloadSpec(
+        "road", "graph",
+        "road-like lattice: degree 2-4 almost everywhere, sparse "
+        "higher-degree interchanges",
+        lambda scale, seed: road_grid(scale, seed=seed),
+        defaults={"seed": 4}, symmetric=True, deep=True),
+    WorkloadSpec(
+        "star", "graph",
+        "hub-adversarial graph: two hubs adjacent to every node "
+        "(block-limit-capped)",
+        lambda scale, hubs, seed: star_hubs(scale, hubs=hubs, seed=seed),
+        defaults={"hubs": 2, "seed": 5}, symmetric=True),
+    WorkloadSpec(
+        "chain", "graph",
+        "spider of long chains off one hub: maximal serial depth at "
+        "bounded diameter",
+        lambda scale, depth, seed: chain_spider(scale, depth=depth,
+                                                seed=seed),
+        defaults={"depth": 40, "seed": 6}, symmetric=True, deep=True),
+    WorkloadSpec(
+        "bimodal", "graph",
+        "bimodal degree mixture: a sea of tiny rows plus a heavy "
+        "above-threshold minority",
+        lambda scale, low, high, seed: bimodal_graph(
+            scale, low=low, high=high, seed=seed),
+        defaults={"low": 4, "high": 192, "seed": 7}),
+    WorkloadSpec(
+        "tree1", "tree",
+        "paper tree dataset1: depth 5, fanout ratio 2, half-fertile",
+        lambda scale, seed: tree_dataset1(scale, seed=seed),
+        defaults={"seed": 11}),
+    WorkloadSpec(
+        "tree2", "tree",
+        "paper tree dataset2: depth 5, fanout ratio 4, fully fertile",
+        lambda scale, seed: tree_dataset2(scale, seed=seed),
+        defaults={"seed": 12}),
+    WorkloadSpec(
+        "tree-skewed", "tree",
+        "extreme sibling-fanout variance: the warp-imbalance adversary",
+        lambda scale, seed: tree_skewed(scale, seed=seed),
+        defaults={"seed": 13}),
+    WorkloadSpec(
+        "tree-balanced", "tree",
+        "one exact fanout everywhere: nothing for consolidation to "
+        "rebalance",
+        lambda scale, seed: tree_balanced(scale, seed=seed),
+        defaults={"seed": 14}),
+    WorkloadSpec(
+        "tree-deep", "tree",
+        "depth-9 modest-fanout tree: recursion-depth-heavy",
+        lambda scale, seed: tree_deep(scale, seed=seed),
+        defaults={"seed": 15}),
+)
+
+for _spec in GENERATOR_WORKLOADS:
+    register_workload(_spec)

@@ -1,0 +1,249 @@
+"""Real-format graph loaders: DIMACS ``.gr``, Matrix Market ``.mtx``,
+SNAP edge lists — all gzip-aware and streamed in bounded chunks.
+
+The paper evaluates on DIMACS-challenge datasets (CiteSeer,
+kron_g500-logn16); these loaders let the reproduction run on the real
+files (or any graph in the three de-facto exchange formats) instead of
+only the synthetic stand-ins. Parsing accumulates fixed-size line
+chunks into NumPy arrays rather than one giant Python list, so memory
+stays proportional to the chunk size plus the final edge arrays — the
+multi-gigabyte SNAP dumps stream through without a per-line object per
+edge retained.
+
+A tiny checked-in DIMACS fixture (``fixtures/usa_tiny.gr``, a symmetric
+road fragment) is registered as the ``usa-tiny`` workload so the
+file-loading path is exercised end-to-end by default — CLI, runner,
+dataset cache, CI — without downloading anything.
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+from pathlib import Path
+from typing import Iterable, Iterator, Optional
+
+import numpy as np
+
+from ..data.structures import Graph
+from .spec import WorkloadSpec, register_workload
+
+#: lines parsed per chunk; bounds transient memory during streaming
+CHUNK_LINES = 65536
+
+#: gzip magic bytes (files are sniffed, not trusted by suffix alone)
+_GZIP_MAGIC = b"\x1f\x8b"
+
+
+def open_dataset_text(path) -> io.TextIOBase:
+    """Open a dataset file for line iteration, transparently gunzipping
+    (by magic bytes, so a mislabeled ``.gz`` still loads)."""
+    path = Path(path)
+    with path.open("rb") as probe:
+        magic = probe.read(2)
+    if magic == _GZIP_MAGIC:
+        return io.TextIOWrapper(gzip.open(path, "rb"), encoding="utf-8")
+    return path.open("r", encoding="utf-8")
+
+
+def _chunked_rows(rows: Iterable[tuple], width: int,
+                  dtype=np.int64) -> Iterator[np.ndarray]:
+    """Accumulate parsed rows into ``(CHUNK_LINES, width)`` arrays."""
+    buf: list[tuple] = []
+    for row in rows:
+        buf.append(row)
+        if len(buf) >= CHUNK_LINES:
+            yield np.array(buf, dtype=dtype).reshape(-1, width)
+            buf = []
+    if buf:
+        yield np.array(buf, dtype=dtype).reshape(-1, width)
+
+
+def _collect(chunks: Iterator[np.ndarray], width: int) -> np.ndarray:
+    arrays = list(chunks)
+    if not arrays:
+        return np.zeros((0, width), dtype=np.int64)
+    return np.concatenate(arrays)
+
+
+def _csr_from_edges(name: str, n: int, u: np.ndarray, v: np.ndarray,
+                    weights: np.ndarray) -> Graph:
+    """Sort edges by (source, target) and build a validated CSR."""
+    order = np.lexsort((v, u))
+    u, v, weights = u[order], v[order], weights[order]
+    row_ptr = np.zeros(n + 1, dtype=np.int64)
+    np.add.at(row_ptr, u + 1, 1)
+    row_ptr = np.cumsum(row_ptr).astype(np.int64)
+    g = Graph(name, row_ptr, v.astype(np.int32), weights)
+    g.validate()
+    return g
+
+
+# -- DIMACS .gr ----------------------------------------------------------------
+
+
+def load_dimacs_gr(path, name: Optional[str] = None) -> Graph:
+    """DIMACS shortest-path format: ``p sp <n> <m>`` then ``a <u> <v> <w>``
+    arc lines, 1-indexed. Road releases list both arc directions, so the
+    loaded graph is as symmetric as the file says it is."""
+    path = Path(path)
+    n = None
+
+    def rows():
+        nonlocal n
+        with open_dataset_text(path) as fh:
+            for line in fh:
+                kind = line[:1]
+                if kind == "a":
+                    _, u, v, w = line.split()
+                    yield (int(u) - 1, int(v) - 1, int(w))
+                elif kind == "p":
+                    parts = line.split()
+                    n = int(parts[2])
+                # 'c' comment lines fall through
+
+    edges = _collect(_chunked_rows(rows(), 3), 3)
+    if n is None:
+        raise ValueError(f"{path}: missing DIMACS 'p sp <n> <m>' line")
+    if len(edges) and (edges[:, :2].min() < 0 or edges[:, :2].max() >= n):
+        raise ValueError(f"{path}: arc endpoint out of range 1..{n}")
+    return _csr_from_edges(name or path.stem, n,
+                           edges[:, 0], edges[:, 1],
+                           edges[:, 2].astype(np.int32))
+
+
+# -- Matrix Market .mtx --------------------------------------------------------
+
+
+def load_matrix_market(path, name: Optional[str] = None) -> Graph:
+    """Matrix Market coordinate format (``%%MatrixMarket matrix
+    coordinate <field> <symmetry>``), 1-indexed. ``pattern`` entries get
+    unit weights; ``symmetric``/``skew-symmetric`` files mirror their
+    off-diagonal entries. The matrix must be square (it is an adjacency
+    /system matrix for the graph apps)."""
+    path = Path(path)
+    field, symmetry = "real", "general"
+    shape: Optional[tuple[int, int]] = None
+
+    def rows():
+        nonlocal field, symmetry, shape
+        with open_dataset_text(path) as fh:
+            header = fh.readline()
+            if not header.startswith("%%MatrixMarket"):
+                raise ValueError(f"{path}: missing %%MatrixMarket header")
+            parts = header.split()
+            if len(parts) < 5 or parts[2] != "coordinate":
+                raise ValueError(
+                    f"{path}: only 'matrix coordinate' files are supported")
+            field, symmetry = parts[3], parts[4]
+            if field == "complex":
+                raise ValueError(
+                    f"{path}: complex-valued matrices have no graph-"
+                    "weight interpretation here; convert to real first")
+            for line in fh:
+                if line.startswith("%") or not line.strip():
+                    continue
+                if shape is None:
+                    rows_, cols, _nnz = line.split()
+                    shape = (int(rows_), int(cols))
+                    continue
+                parts = line.split()
+                i, j = int(parts[0]) - 1, int(parts[1]) - 1
+                if field == "pattern":
+                    w = 1.0
+                else:
+                    w = float(parts[2])
+                yield (i, j, w)
+
+    edges = _collect(_chunked_rows(rows(), 3, dtype=np.float64), 3)
+    if shape is None:
+        raise ValueError(f"{path}: missing size line")
+    if shape[0] != shape[1]:
+        raise ValueError(
+            f"{path}: adjacency matrix must be square, got {shape}")
+    n = shape[0]
+    u = edges[:, 0].astype(np.int64)
+    v = edges[:, 1].astype(np.int64)
+    w = edges[:, 2]
+    if symmetry in ("symmetric", "skew-symmetric", "hermitian"):
+        # the stored triangle implies the mirror entries; skew-symmetry
+        # means a_ji = -a_ij (hermitian == symmetric for real fields,
+        # and the complex field is rejected by the float parse above)
+        off = u != v
+        mirrored = -w[off] if symmetry == "skew-symmetric" else w[off]
+        u, v, w = (np.concatenate([u, v[off]]),
+                   np.concatenate([v, u[off]]),
+                   np.concatenate([w, mirrored]))
+    if len(u) and (min(u.min(), v.min()) < 0 or max(u.max(), v.max()) >= n):
+        raise ValueError(f"{path}: entry index out of range 1..{n}")
+    if field == "real":
+        weights = w.astype(np.float32)
+    else:
+        weights = w.astype(np.int32)
+    return _csr_from_edges(name or path.stem, n, u, v, weights)
+
+
+# -- SNAP edge lists -----------------------------------------------------------
+
+
+def load_snap_edgelist(path, name: Optional[str] = None) -> Graph:
+    """SNAP-style whitespace edge list (``#`` comments, one ``u v`` pair
+    per line, arbitrary node ids). Ids are compacted to ``0..n-1`` in
+    sorted order; edges get unit weights."""
+    path = Path(path)
+
+    def rows():
+        with open_dataset_text(path) as fh:
+            for line in fh:
+                if line.startswith(("#", "%")) or not line.strip():
+                    continue
+                u, v = line.split()[:2]
+                yield (int(u), int(v))
+
+    edges = _collect(_chunked_rows(rows(), 2), 2)
+    ids, compact = np.unique(edges[:, :2], return_inverse=True)
+    compact = compact.reshape(-1, 2)
+    n = len(ids)
+    weights = np.ones(len(compact), dtype=np.int32)
+    return _csr_from_edges(name or path.stem, max(n, 1),
+                           compact[:, 0], compact[:, 1], weights)
+
+
+# -- dispatch + file-backed workloads ------------------------------------------
+
+_LOADERS = {
+    ".gr": load_dimacs_gr,
+    ".mtx": load_matrix_market,
+}
+
+
+def load_graph(path, name: Optional[str] = None) -> Graph:
+    """Load any supported format, dispatched on the (ungzipped) suffix;
+    unknown suffixes are treated as SNAP edge lists."""
+    path = Path(path)
+    suffixes = [s for s in path.suffixes if s != ".gz"]
+    loader = _LOADERS.get(suffixes[-1] if suffixes else "",
+                          load_snap_edgelist)
+    return loader(path, name=name)
+
+
+def file_workload(name: str, path, *, description: str,
+                  symmetric: bool = False) -> WorkloadSpec:
+    """A :class:`WorkloadSpec` backed by a graph file (``scale`` is
+    ignored: the file *is* the dataset). The file's content participates
+    in the dataset-cache key, so edits invalidate cached parses."""
+    path = Path(path)
+    return WorkloadSpec(
+        name, "graph", description,
+        lambda scale: load_graph(path, name=name),
+        symmetric=symmetric, source=path)
+
+
+#: directory of datasets shipped with the package
+FIXTURE_DIR = Path(__file__).parent / "fixtures"
+
+register_workload(file_workload(
+    "usa-tiny", FIXTURE_DIR / "usa_tiny.gr",
+    description="checked-in DIMACS .gr fixture: a tiny symmetric road "
+                "fragment exercising the loader path end-to-end",
+    symmetric=True))

@@ -4,14 +4,13 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.data import (
-    citeseer_like,
-    kron_like,
+from repro.data import citeseer_like, kron_like
+from repro.data.structures import Graph as GraphCls
+from repro.workloads.generators import (
     tree_dataset1,
     tree_dataset2,
-    uniform_random,
+    uniform_graph,
 )
-from repro.data.structures import Graph as GraphCls
 
 
 class TestGraphStructure:
@@ -135,5 +134,33 @@ class TestTrees:
 
 class TestUniformRandom:
     def test_flat_degrees(self):
-        g = uniform_random(100, 8, seed=1)
+        g = uniform_graph(n=100, avg_degree=8, seed=1)
         assert set(g.degrees.tolist()) == {8}
+
+
+class TestDeprecatedShims:
+    """uniform_random and the treegen generators folded into the
+    workload registry; the shims must warn and produce identical data."""
+
+    def test_uniform_random_warns_and_matches(self):
+        import numpy as np
+        from repro.data import uniform_random
+
+        with pytest.deprecated_call():
+            old = uniform_random(64, 4, seed=9)
+        assert np.array_equal(old.col_idx,
+                              uniform_graph(n=64, avg_degree=4,
+                                            seed=9).col_idx)
+        assert old.name == "uniform"
+
+    @pytest.mark.parametrize("name", ["tree_dataset1", "tree_dataset2"])
+    def test_treegen_shims_warn_and_match(self, name):
+        import numpy as np
+        from repro.data import treegen
+        from repro.workloads import generators
+
+        with pytest.deprecated_call():
+            old = getattr(treegen, name)(0.3)
+        new = getattr(generators, name)(0.3)
+        assert np.array_equal(old.child_idx, new.child_idx)
+        assert old.name == new.name
