@@ -1,0 +1,54 @@
+"""Shared emitter for machine-readable benchmark results.
+
+Benches call :func:`emit_json` with a flat payload of measured numbers;
+the helper wraps it in a stable envelope (bench name, package version,
+schema format) and writes ``BENCH_<name>.json`` atomically (temp file +
+rename, the same discipline as the result store), so a CI artifact
+collector never uploads a torn file and perf-trajectory tooling can diff
+files across commits. Output directory: ``$REPRO_BENCH_OUT`` or the
+current directory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+#: bump when the envelope shape changes
+EMIT_FORMAT = 1
+
+#: environment variable overriding the output directory
+BENCH_OUT_ENV = "REPRO_BENCH_OUT"
+
+
+def emit_json(name: str, payload: dict, directory=None) -> Path:
+    """Write ``BENCH_<name>.json`` atomically; returns the path."""
+    root = Path(directory if directory is not None
+                else os.environ.get(BENCH_OUT_ENV, "."))
+    root.mkdir(parents=True, exist_ok=True)
+    try:
+        from repro import __version__
+    except ImportError:  # bench run without the package on sys.path
+        __version__ = "unknown"
+    envelope = {
+        "format": EMIT_FORMAT,
+        "bench": name,
+        "version": __version__,
+        "payload": payload,
+    }
+    path = root / f"BENCH_{name}.json"
+    fd, tmp = tempfile.mkstemp(dir=root, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            json.dump(envelope, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path

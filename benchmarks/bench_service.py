@@ -1,0 +1,167 @@
+"""Service throughput bench: N concurrent clients, overlapping specs.
+
+Boots a real :class:`~repro.service.ExperimentService` (unix socket,
+fresh sharded store in a temp dir unless ``--cache-dir``), then drives
+it twice with ``--clients`` threads, each submitting the same pool of
+unique RunSpecs in a rotated order so requests overlap heavily:
+
+* **cold** — empty store: unique specs execute exactly once, duplicate
+  requests coalesce onto the in-flight runs;
+* **warm** — same requests again: the service must execute **zero**
+  simulations (asserted) and serve everything from the store.
+
+Reports jobs/s for both phases plus the dedup/cache counters, and
+emits ``BENCH_service.json`` through :mod:`_emit` for the CI artifact
+trail::
+
+    PYTHONPATH=src python benchmarks/bench_service.py --scale 0.1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from _emit import emit_json
+
+from repro.experiments import ResultStore, RunSpec
+from repro.service import ExperimentService, ServiceClient
+
+#: the overlapping request pool: a mix the figure harnesses also run,
+#: so a warm store from `repro all` makes even the cold phase cheap
+SPEC_POOL = [
+    RunSpec("sssp", "basic-dp"),
+    RunSpec("sssp", "grid-level"),
+    RunSpec("spmv", "no-dp"),
+    RunSpec("spmv", "grid-level"),
+    RunSpec("gc", "basic-dp"),
+    RunSpec("gc", "grid-level"),
+]
+
+
+def drive_clients(socket_path, clients: int, rounds: int) -> tuple[float, int]:
+    """Each client thread submits the pool ``rounds`` times, rotated by
+    its index; returns (wall seconds, total requests)."""
+    barrier = threading.Barrier(clients)
+    errors: list[BaseException] = []
+
+    def worker(idx: int) -> None:
+        try:
+            with ServiceClient(socket_path=socket_path) as client:
+                barrier.wait(timeout=60)
+                for r in range(rounds):
+                    for i in range(len(SPEC_POOL)):
+                        spec = SPEC_POOL[(idx + i) % len(SPEC_POOL)]
+                        client.submit_spec(spec)
+        except BaseException as exc:  # noqa: BLE001 — surfaced below
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(i,))
+               for i in range(clients)]
+    t0 = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - t0
+    if errors:
+        raise RuntimeError(f"{len(errors)} client(s) failed: {errors[0]}")
+    return wall, clients * rounds * len(SPEC_POOL)
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    ap.add_argument("--clients", type=int, default=32)
+    ap.add_argument("--rounds", type=int, default=1,
+                    help="pool repetitions per client per phase")
+    ap.add_argument("--scale", type=float, default=0.1)
+    ap.add_argument("--jobs", type=int, default=2,
+                    help="server-side worker processes per batch")
+    ap.add_argument("--batch-window", type=float, default=0.05)
+    ap.add_argument("--cache-dir", default=None,
+                    help="store location (default: fresh temp dir = cold)")
+    args = ap.parse_args(argv)
+
+    workdir = Path(args.cache_dir or tempfile.mkdtemp(prefix="bench-svc-"))
+    store = ResultStore(workdir)
+    # a pre-warmed --cache-dir legitimately serves the "cold" phase from
+    # disk; only a fresh store must execute every unique spec
+    fresh_store = len(store) == 0
+    svc = ExperimentService(scale=args.scale, store=store,
+                            jobs=args.jobs, batch_window=args.batch_window)
+    socket_path = workdir / "bench.sock"
+    ready = threading.Event()
+    server = threading.Thread(
+        target=svc.run,
+        kwargs=dict(socket_path=socket_path, ready=ready.set), daemon=True)
+    server.start()
+    if not ready.wait(30):
+        print("error: service did not come up", file=sys.stderr)
+        return 1
+
+    cold_wall, cold_requests = drive_clients(socket_path, args.clients,
+                                             args.rounds)
+    executed_cold = svc.metrics.executed
+    coalesced_cold = svc.metrics.coalesced
+
+    warm_wall, warm_requests = drive_clients(socket_path, args.clients,
+                                             args.rounds)
+    executed_warm = svc.metrics.executed - executed_cold
+
+    with ServiceClient(socket_path=socket_path) as client:
+        status = client.status()
+        client.shutdown()
+    server.join(30)
+
+    if fresh_store:
+        assert executed_cold == len(SPEC_POOL), \
+            f"cold phase executed {executed_cold}, want {len(SPEC_POOL)}"
+    else:
+        assert executed_cold <= len(SPEC_POOL), \
+            f"cold phase executed {executed_cold} > pool size"
+    assert executed_warm == 0, \
+        f"warm phase executed {executed_warm} runs; want 0"
+
+    m = status["metrics"]
+    payload = {
+        "clients": args.clients,
+        "rounds": args.rounds,
+        "scale": args.scale,
+        "jobs": args.jobs,
+        "batch_window_s": args.batch_window,
+        "unique_specs": len(SPEC_POOL),
+        "cold_requests": cold_requests,
+        "cold_wall_s": round(cold_wall, 3),
+        "cold_jobs_per_s": round(cold_requests / cold_wall, 1),
+        "cold_executed": executed_cold,
+        "cold_coalesced": coalesced_cold,
+        "warm_requests": warm_requests,
+        "warm_wall_s": round(warm_wall, 3),
+        "warm_jobs_per_s": round(warm_requests / warm_wall, 1),
+        "warm_executed": executed_warm,
+        "dedup_rate": m["dedup_rate"],
+        "cache_hit_rate": m["cache_hit_rate"],
+        "batches": m["batches"],
+        "max_batch": m["max_batch"],
+    }
+    out = emit_json("service", payload)
+    print(f"{args.clients} clients x {args.rounds}x{len(SPEC_POOL)} specs "
+          f"(scale {args.scale}, {len(SPEC_POOL)} unique)")
+    print(f"  cold : {payload['cold_jobs_per_s']:8.1f} jobs/s "
+          f"({cold_requests} requests, {executed_cold} executed, "
+          f"{cold_wall:.2f}s)")
+    print(f"  warm : {payload['warm_jobs_per_s']:8.1f} jobs/s "
+          f"({warm_requests} requests, 0 executed, {warm_wall:.2f}s)")
+    print(f"  dedup rate {100 * m['dedup_rate']:.1f}%  "
+          f"cache-hit rate {100 * m['cache_hit_rate']:.1f}%  "
+          f"batches {m['batches']} (largest {m['max_batch']})")
+    print(f"  -> {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

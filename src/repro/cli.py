@@ -17,6 +17,11 @@
     repro workloads gen star --scale 0.5     # materialize + cache one
     repro run sssp grid-level --workload star    # run on a named workload
     repro sensitivity [--apps sssp gc]       # variant x workload sweep
+    repro serve [--socket PATH|--tcp H:P]    # the experiment service daemon
+    repro submit sssp grid-level    # submit a run to the daemon
+    repro tune sssp --socket PATH   # tune through the daemon
+    repro status                    # daemon metrics (dedup/batch/cache)
+    repro shutdown                  # drain the daemon and stop it
     repro cache info|clear          # inspect/clear the on-disk caches
 
 Figure commands batch their work plans up front: ``repro all`` takes the
@@ -71,6 +76,35 @@ def _make_dataset_cache(args):
     if getattr(args, "no_cache", False):
         return None
     return DatasetCache(default_dataset_cache_dir(args.cache_dir))
+
+
+def _add_endpoint(p):
+    p.add_argument("--socket", default=None, metavar="PATH",
+                   help="unix socket of the experiment service (default: "
+                        "$REPRO_SOCKET or <cache-dir>/service.sock)")
+    p.add_argument("--tcp", default=None, metavar="HOST:PORT",
+                   help="reach the service over TCP instead of the unix "
+                        "socket")
+
+
+def _parse_tcp(value):
+    host, sep, port = value.rpartition(":")
+    if not sep or not host or not port.isdigit():
+        raise ValueError(f"--tcp takes HOST:PORT, got {value!r}")
+    return host, int(port)
+
+
+def _make_client(args):
+    """A connected ServiceClient for the endpoint arguments."""
+    from .service import ServiceClient
+    from .service.protocol import default_socket_path
+
+    if args.tcp:
+        host, port = _parse_tcp(args.tcp)
+        return ServiceClient(host=host, port=port).connect()
+    path = args.socket or default_socket_path(getattr(args, "cache_dir",
+                                                      None))
+    return ServiceClient(socket_path=path).connect()
 
 
 def main(argv=None) -> int:
@@ -146,6 +180,12 @@ def main(argv=None) -> int:
     p.add_argument("--workload", default=None, metavar="REF",
                    help="tune against a registered workload instead of "
                         "the app's default dataset (stored per workload)")
+    p.add_argument("--socket", default=None, metavar="PATH",
+                   help="evaluate candidates through the experiment "
+                        "service listening on this unix socket instead "
+                        "of local runners")
+    p.add_argument("--tcp", default=None, metavar="HOST:PORT",
+                   help="like --socket, over TCP")
     _add_exec(p)
 
     p = sub.add_parser(
@@ -179,6 +219,46 @@ def main(argv=None) -> int:
     p.add_argument("--apps", nargs="+", default=None, metavar="APP",
                    help="restrict to these apps (default: all)")
     _add_exec(p)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the experiment service daemon (coalescing, "
+             "micro-batching, shared sharded cache)")
+    p.add_argument("--socket", default=None, metavar="PATH",
+                   help="unix socket to listen on (default: $REPRO_SOCKET "
+                        "or <cache-dir>/service.sock)")
+    p.add_argument("--tcp", default=None, metavar="HOST:PORT",
+                   help="listen on TCP instead of the unix socket")
+    p.add_argument("--batch-window", type=float, default=None, metavar="S",
+                   help="micro-batching window in seconds (default 0.05)")
+    _add_exec(p)
+
+    p = sub.add_parser("submit", help="submit one run to the service")
+    p.add_argument("app")
+    p.add_argument("variant",
+                   help="basic-dp | no-dp | warp-level | block-level | "
+                        "grid-level | consolidated | tuned")
+    p.add_argument("--allocator", default="custom",
+                   choices=["default", "halloc", "custom"])
+    p.add_argument("--strategy", default=None,
+                   choices=list(available_strategies()))
+    _add_threshold(p)
+    p.add_argument("--workload", default=None, metavar="REF",
+                   help="registered workload to run on")
+    p.add_argument("--scale", type=float, default=None,
+                   help="dataset scale (default: the server's)")
+    _add_endpoint(p)
+    _add_cache(p)
+
+    p = sub.add_parser("status", help="query the service's metrics "
+                                      "(queue depth, dedup/cache rates)")
+    _add_endpoint(p)
+    _add_cache(p)
+
+    p = sub.add_parser("shutdown",
+                       help="drain the service's queue and stop it")
+    _add_endpoint(p)
+    _add_cache(p)
 
     p = sub.add_parser("cache", help="inspect or clear the result cache")
     p.add_argument("action", choices=["info", "clear"])
@@ -347,23 +427,44 @@ def main(argv=None) -> int:
         # and no write to the (possibly global) tuned-config registry
         registry = (None if args.no_cache else
                     TunedConfigRegistry(default_tuned_path(args.cache_dir)))
+        from .service import ServiceError
+
+        service = None
+        if args.socket or args.tcp:
+            try:
+                service = _make_client(args)
+            except (ServiceError, ValueError) as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            info = service.server_info
+            if info.get("verify") != (not args.no_verify):
+                print(f"note: server verify={info.get('verify')} differs "
+                      "from this invocation; server settings win for "
+                      "executed runs", file=sys.stderr)
         tuner = Tuner(scale=args.scale, store=_make_store(args),
                       registry=registry, jobs=args.jobs,
                       verify=not args.no_verify,
-                      dataset_cache=_make_dataset_cache(args))
+                      dataset_cache=_make_dataset_cache(args),
+                      service=service)
         t0 = time.time()
         try:
             result = tuner.tune(args.app, objective=args.objective,
                                 algorithm=args.search, budget=args.budget,
                                 seed=args.seed, workload=args.workload)
-        except (KeyError, ValueError) as exc:
-            # e.g. unknown app/workload or an app-incompatible workload
+        except (KeyError, ValueError, ServiceError) as exc:
+            # e.g. unknown app/workload, an app-incompatible workload,
+            # or a service failure from a --socket evaluation; other
+            # RuntimeErrors are bugs and keep their traceback
             message = exc.args[0] if exc.args else exc
             print(f"error: {message}", file=sys.stderr)
             return 2
+        if service is not None:
+            service.close()
         print(result.describe())
+        where = (f"via {service.endpoint}" if service is not None
+                 else f"--jobs {args.jobs}")
         print(f"[tuning: {result.evaluations} evaluations "
-              f"(--jobs {args.jobs}): {result.stats.describe()}; "
+              f"({where}): {result.stats.describe()}; "
               f"{time.time() - t0:.1f}s]")
         if registry is not None:
             print(f"saved tuned config -> {registry.path} "
@@ -417,6 +518,84 @@ def main(argv=None) -> int:
         print(run_provenance(runner.stats))
         return 0
 
+    if args.command == "serve":
+        from .service import DEFAULT_BATCH_WINDOW, ExperimentService
+        from .service.protocol import default_socket_path
+        from .tuning import TunedConfigRegistry, default_tuned_path
+
+        svc = ExperimentService(
+            scale=args.scale, verify=not args.no_verify,
+            store=_make_store(args), dataset_cache=_make_dataset_cache(args),
+            tuned=TunedConfigRegistry(default_tuned_path(args.cache_dir)),
+            jobs=args.jobs,
+            batch_window=(args.batch_window if args.batch_window is not None
+                          else DEFAULT_BATCH_WINDOW))
+
+        def ready():
+            store_note = (f"store {svc.store.root} "
+                          f"({svc.store.shards} shards)"
+                          if svc.store is not None else "no store (--no-cache)")
+            print(f"[{svc.name}] listening on {svc.endpoint}; "
+                  f"scale {svc.scale}, jobs {svc.jobs}, "
+                  f"window {svc.batch_window}s; {store_note}", flush=True)
+
+        try:
+            if args.tcp:
+                host, port = _parse_tcp(args.tcp)
+                svc.run(host=host, port=port, ready=ready)
+            else:
+                path = args.socket or default_socket_path(args.cache_dir)
+                svc.run(socket_path=path, ready=ready)
+        except (ValueError, RuntimeError) as exc:
+            # e.g. bad --tcp syntax, or another daemon already listening
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        except KeyboardInterrupt:
+            pass
+        m = svc.metrics
+        print(f"[{svc.name}] stopped: {m.requests} requests, "
+              f"{m.executed} executed, {m.cache_hits} cache hits, "
+              f"{m.coalesced} coalesced ({100 * m.dedup_rate:.1f}% dedup), "
+              f"{m.batches} batches")
+        return 0
+
+    if args.command in ("submit", "status", "shutdown"):
+        from .service import ServiceError, describe_status
+
+        try:
+            client = _make_client(args)
+        except (ServiceError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        with client:
+            if args.command == "status":
+                print(describe_status(client.status()))
+                return 0
+            if args.command == "shutdown":
+                report = client.shutdown()
+                print(f"service drained ({report.get('drained', 0)} "
+                      "queued/in-flight at request) and stopped")
+                return 0
+            from .experiments.plan import RunSpec
+
+            spec = RunSpec(app=args.app, variant=args.variant,
+                           allocator=args.allocator,
+                           threshold=args.threshold,
+                           strategy=args.strategy, workload=args.workload)
+            t0 = time.time()
+            try:
+                res = client.submit_spec(spec, scale=args.scale)
+            except ServiceError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            wall = time.time() - t0
+            print(f"{res.app} [{res.label()}] on {res.dataset} "
+                  f"(verified={res.checked}, via {client.endpoint}, "
+                  f"wall={wall:.1f}s)")
+            print(res.metrics.summary())
+            print(f"[service: {res.source}; batch: {res.stats.describe()}]")
+            return 0
+
     if args.command == "cache":
         from .experiments import ResultStore, default_cache_dir
         from .tuning import TunedConfigRegistry, default_tuned_path
@@ -437,8 +616,16 @@ def main(argv=None) -> int:
                 print(f"removed {removed_configs} tuned configs from "
                       f"{tuned.path}")
         else:
+            info = store.shard_info()
+            layout = (f"{info['shards']} shards "
+                      f"({info['populated']} populated, "
+                      f"{info['sharded_entries']} sharded entries")
+            layout += (f" + {info['legacy_entries']} legacy flat entries)"
+                       if info["legacy_entries"] else ")")
             print(f"cache dir : {store.root}")
-            print(f"entries   : {len(store)}")
+            print(f"layout    : {layout}")
+            print(f"entries   : "
+                  f"{info['sharded_entries'] + info['legacy_entries']}")
             print(f"size      : {store.size_bytes() / 1024:.1f} KiB")
             print(f"datasets  : {len(datasets)} cached "
                   f"({datasets.size_bytes() / 1024:.1f} KiB, "

@@ -104,10 +104,17 @@ def _execute_in_worker(spec: RunSpec) -> AppRun:
 def _pool_context():
     import multiprocessing
     import sys
+    import threading
 
     # fork is cheap and inherits the app registry, but is only safe on
-    # Linux (macOS system frameworks can abort forked children)
-    if sys.platform == "linux":
+    # Linux (macOS system frameworks can abort forked children) and only
+    # from a single-threaded process: the experiment service calls
+    # prefetch from a worker thread while its event-loop thread is live,
+    # and fork()ing then can deadlock the child on a lock some other
+    # thread held at fork time — so any sign of threading selects spawn
+    if (sys.platform == "linux"
+            and threading.current_thread() is threading.main_thread()
+            and threading.active_count() == 1):
         return multiprocessing.get_context("fork")
     return multiprocessing.get_context("spawn")
 
@@ -301,6 +308,31 @@ class ExperimentRunner:
                 return run
         return None
 
+    def trim_memory(self) -> None:
+        """Drop the in-process AppRun cache (the batch hook a long-lived
+        service calls between batches).
+
+        Only sensible with an on-disk store attached: the store keeps
+        every result, so later lookups become disk hits instead of
+        memory hits — whereas a one-shot figure run without a store
+        would lose its only cache. AppRuns hold full result arrays,
+        which is exactly what must not accumulate in a daemon that only
+        ever ships metrics. Datasets and fingerprints are kept: they
+        are bounded by the workload registry and expensive to rebuild.
+        """
+        self._cache.clear()
+
+    def resolve(self, spec: RunSpec) -> RunSpec:
+        """Public :meth:`_resolve`: fill every runner/app default so the
+        returned spec fully determines (and uniquely keys) the run.
+
+        Idempotent — resolving a resolved spec returns it unchanged —
+        which is what lets the experiment service (:mod:`repro.service`)
+        use resolved specs as coalescing keys and feed them straight
+        back into :meth:`prefetch`.
+        """
+        return self._resolve(spec)
+
     def run_spec(self, spec: RunSpec) -> AppRun:
         """Execute (or recall) one RunSpec."""
         resolved = self._resolve(spec)
@@ -327,7 +359,8 @@ class ExperimentRunner:
         ))
 
     def prefetch(self, specs: Iterable[RunSpec],
-                 jobs: Optional[int] = None) -> RunStats:
+                 jobs: Optional[int] = None,
+                 executed: Optional[set] = None) -> RunStats:
         """Materialize every spec's run, fanning cache misses across a
         process pool.
 
@@ -335,6 +368,11 @@ class ExperimentRunner:
         one miss) execution is serial and in-process; either way the
         cache ends up in the same state, so downstream figure rendering
         is byte-identical.
+
+        ``executed``, when given, is a set the runner fills with the
+        *resolved* specs it actually simulated — the batch hook the
+        experiment service uses to report per-request provenance
+        (executed vs. served-from-cache) without re-probing the cache.
         """
         jobs = self.jobs if jobs is None else jobs
         before = replace(self.stats)
@@ -344,6 +382,8 @@ class ExperimentRunner:
             if resolved not in missing and self._lookup(resolved) is None:
                 missing.add(resolved)
         pending = list(missing)
+        if executed is not None:
+            executed.update(pending)
         datasets = {(r.app, _dataset_name(r)):
                     self.dataset(r.app, _dataset_name(r))
                     for r in pending}

@@ -18,6 +18,17 @@ Entries are pickled ``AppRun`` objects written atomically
 (temp file + ``os.replace``), so concurrent writers — e.g. two
 ``repro all --jobs N`` invocations against one cache directory — never
 expose torn files. Unreadable entries are treated as misses and removed.
+
+Writes land in **shard directories** (``shard-NN/``, NN derived from the
+content address), so the N concurrent writers of an experiment service
+(:mod:`repro.service`) spread directory-entry churn across ``shards``
+independent directories instead of contending on one. Reads remain
+transparently compatible with the pre-shard flat layout
+(``<key[:2]>/<key>.pkl``): a lookup tries the computed shard first, then
+the legacy path, then every shard directory (covering stores written
+with a different shard count) — and the first ``put`` of a key migrates
+its legacy entry into the shard layout, so mixed-layout stores converge
+without a rewrite pass. See DESIGN.md §13.
 """
 
 from __future__ import annotations
@@ -39,6 +50,23 @@ STORE_FORMAT = 2
 
 #: environment variable overriding the default cache directory
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: default number of shard directories new entries are spread across
+DEFAULT_SHARDS = 16
+
+#: environment variable overriding the shard count
+SHARDS_ENV = "REPRO_STORE_SHARDS"
+
+
+def default_shards() -> int:
+    """``$REPRO_STORE_SHARDS``, else :data:`DEFAULT_SHARDS`."""
+    env = os.environ.get(SHARDS_ENV)
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return DEFAULT_SHARDS
 
 
 def default_cache_dir() -> Path:
@@ -120,17 +148,58 @@ class ResultStore:
     read-only operations (``repro cache info`` on a directory that does
     not exist yet, lookups against an empty cache) simply report an
     empty store instead of touching the filesystem or raising.
+
+    New entries are spread across ``shards`` shard directories
+    (``shard-NN/``); lookups additionally fall back to the pre-shard
+    flat layout (``<key[:2]>/``) and to shard directories written under
+    a different shard count, so any mix of layouts reads as one store.
     """
 
-    def __init__(self, root: Path | str):
+    #: glob pattern matching flat-layout (pre-shard) subdirectories —
+    #: two hex characters, the first bytes of the content address
+    _LEGACY_GLOB = "[0-9a-f][0-9a-f]"
+
+    def __init__(self, root: Path | str, shards: Optional[int] = None):
         self.root = Path(root)
+        self.shards = shards if shards is not None else default_shards()
+
+    # -- layout ----------------------------------------------------------------
+
+    def shard_for(self, key: str) -> int:
+        """Stable shard index of a content address (independent of the
+        process, so every writer agrees on the placement)."""
+        return int(key[:8], 16) % self.shards
 
     def path_for(self, key: str) -> Path:
+        """Where :meth:`put` writes a key (its shard directory)."""
+        return self.root / f"shard-{self.shard_for(key):02d}" / f"{key}.pkl"
+
+    def _legacy_path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.pkl"
+
+    def _locate(self, key: str) -> Optional[Path]:
+        """The on-disk path currently holding a key, or None.
+
+        Checks the computed shard, then the flat legacy layout, then —
+        for stores written under a different shard count — every shard
+        directory (one readdir, only on the miss path; misses are
+        followed by a simulation, which dwarfs it).
+        """
+        path = self.path_for(key)
+        if path.exists():
+            return path
+        legacy = self._legacy_path(key)
+        if legacy.exists():
+            return legacy
+        for other in self.root.glob(f"shard-*/{key}.pkl"):
+            return other
+        return None
 
     def get(self, key: str):
         """The stored AppRun, or None; corrupt entries count as misses."""
-        path = self.path_for(key)
+        path = self._locate(key)
+        if path is None:
+            return None
         try:
             with path.open("rb") as fh:
                 return pickle.load(fh)
@@ -158,18 +227,62 @@ class ResultStore:
             except OSError:
                 pass
             raise
+        # migrate-on-write: a rewritten key must not leave stale copies
+        # behind in the flat layout or in a shard computed under a
+        # different shard count — either would double-count the entry.
+        # Only copies measurably *older* than this write are removed: a
+        # concurrent writer configured with a different shard count
+        # lands the same key milliseconds apart, and unlinking its
+        # fresh copy symmetrically could drop the key from disk
+        # entirely. Same-age duplicates are left for a later rewrite to
+        # collect (they hold identical deterministic content).
+        try:
+            own_mtime = path.stat().st_mtime
+        except OSError:
+            return
+        for stale in (self._legacy_path(key),
+                      *self.root.glob(f"shard-*/{key}.pkl")):
+            if stale == path:
+                continue
+            try:
+                if stale.stat().st_mtime < own_mtime - 1.0:
+                    stale.unlink()
+            except OSError:
+                pass
 
     def __contains__(self, key: str) -> bool:
-        return self.path_for(key).exists()
+        return self._locate(key) is not None
 
     def _entries(self) -> list[Path]:
-        return list(self.root.glob("*/*.pkl"))
+        return (list(self.root.glob("shard-*/*.pkl"))
+                + list(self.root.glob(f"{self._LEGACY_GLOB}/*.pkl")))
+
+    def shard_info(self) -> dict:
+        """Layout summary for ``repro cache info``: configured shard
+        count, how many shard directories hold entries, and how many
+        entries still sit in the flat legacy layout."""
+        sharded = list(self.root.glob("shard-*/*.pkl"))
+        legacy = list(self.root.glob(f"{self._LEGACY_GLOB}/*.pkl"))
+        return {
+            "shards": self.shards,
+            "populated": len({p.parent.name for p in sharded}),
+            "sharded_entries": len(sharded),
+            "legacy_entries": len(legacy),
+        }
 
     def __len__(self) -> int:
         return len(self._entries())
 
     def size_bytes(self) -> int:
-        return sum(p.stat().st_size for p in self._entries())
+        total = 0
+        for p in self._entries():
+            try:
+                total += p.stat().st_size
+            except OSError:
+                # racing a writer whose migrate-on-write just unlinked
+                # this copy; the entry lives on at its new path
+                pass
+        return total
 
     def clear(self) -> int:
         """Remove every entry; returns how many were removed."""

@@ -1,0 +1,30 @@
+"""``repro.service`` — the async, batching, deduplicating experiment
+service (DESIGN.md §13).
+
+The rest of the repo executes one CLI process at a time; this package
+makes the execution stack *serve*: a long-lived asyncio daemon
+(:class:`~repro.service.server.ExperimentService`, ``repro serve``)
+multiplexes any number of clients onto one cache-backed
+:class:`~repro.experiments.runner.ExperimentRunner`, with
+
+* **request coalescing** — value-identical in-flight submits share one
+  execution (each unique run happens at most once, ever, per store);
+* **micro-batching** — a short window groups concurrent submits into a
+  single parallel :meth:`~repro.experiments.runner.ExperimentRunner.prefetch`;
+* **a sharded result store** — concurrent batch writers spread across
+  shard directories (:class:`~repro.experiments.store.ResultStore`).
+
+Clients: :class:`~repro.service.client.ServiceClient` (sync; the CLI's
+``repro submit`` / ``repro status`` / ``repro shutdown``, and
+``repro tune --socket``) and
+:class:`~repro.service.client.AsyncServiceClient` (asyncio). The wire
+format is a versioned JSON-line protocol
+(:mod:`~repro.service.protocol`).
+"""
+
+from .client import (AsyncServiceClient, ServiceClient,  # noqa: F401
+                     ServiceError, SubmitResult)
+from .metrics import ServiceMetrics, describe_status  # noqa: F401
+from .protocol import (PROTOCOL_VERSION, ProtocolError,  # noqa: F401
+                       default_socket_path)
+from .server import DEFAULT_BATCH_WINDOW, ExperimentService  # noqa: F401

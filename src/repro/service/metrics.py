@@ -1,0 +1,100 @@
+"""Per-endpoint service metrics.
+
+The counters quantify exactly the three throughput mechanisms the
+service exists for (DESIGN.md §13): ``coalesced`` measures request
+coalescing (requests that attached to an identical in-flight run),
+``batches``/``max_batch`` measure micro-batching (how many runs each
+process-pool spin-up was amortized over), and ``executed`` vs.
+``cache_hits`` measure how much of the request stream the sharded
+store absorbed. A snapshot travels over the ``status`` endpoint;
+:func:`describe_status` renders one for ``repro status``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class ServiceMetrics:
+    """Monotonic counters over the life of one service process."""
+
+    #: submit requests accepted (after the hello handshake)
+    requests: int = 0
+    #: submit requests answered with a result
+    completed: int = 0
+    #: submit requests answered with an error (bad spec, failed run)
+    failed: int = 0
+    #: requests that attached to an identical in-flight execution
+    coalesced: int = 0
+    #: unique runs actually simulated
+    executed: int = 0
+    #: unique submitted runs served from the result store instead
+    cache_hits: int = 0
+    #: micro-batches flushed to the runner
+    batches: int = 0
+    #: largest micro-batch so far
+    max_batch: int = 0
+    #: connections accepted over the service lifetime
+    connections: int = 0
+
+    @property
+    def dedup_rate(self) -> float:
+        """Fraction of submits that rode an in-flight duplicate."""
+        return self.coalesced / self.requests if self.requests else 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of submits served from the store (no simulation,
+        no in-flight duplicate — a pure warm-start hit)."""
+        return self.cache_hits / self.requests if self.requests else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "requests": self.requests,
+            "completed": self.completed,
+            "failed": self.failed,
+            "coalesced": self.coalesced,
+            "executed": self.executed,
+            "cache_hits": self.cache_hits,
+            "batches": self.batches,
+            "max_batch": self.max_batch,
+            "connections": self.connections,
+            "dedup_rate": round(self.dedup_rate, 4),
+            "cache_hit_rate": round(self.cache_hit_rate, 4),
+        }
+
+
+def describe_status(payload: dict) -> str:
+    """Render a ``status`` response for humans (``repro status``)."""
+    m = payload.get("metrics", {})
+    store = payload.get("store")
+    lines = [
+        f"service   : {payload.get('server')} v{payload.get('version')} "
+        f"(protocol {payload.get('protocol')})",
+        f"endpoint  : {payload.get('endpoint')}"
+        + (" [draining]" if payload.get("draining") else ""),
+        f"device    : {payload.get('device')}  "
+        f"scale {payload.get('scale')}  jobs {payload.get('jobs')}  "
+        f"verify {payload.get('verify')}",
+        f"uptime    : {payload.get('uptime_s', 0.0):.1f}s  "
+        f"connections {m.get('connections', 0)}",
+        f"queue     : depth {payload.get('queue_depth', 0)}  "
+        f"in-flight {payload.get('inflight', 0)}",
+        f"requests  : {m.get('requests', 0)} "
+        f"({m.get('completed', 0)} completed, {m.get('failed', 0)} failed)",
+        f"executed  : {m.get('executed', 0)}",
+        f"cache hits: {m.get('cache_hits', 0)} "
+        f"(rate {100 * m.get('cache_hit_rate', 0.0):.1f}%)",
+        f"coalesced : {m.get('coalesced', 0)} "
+        f"(dedup rate {100 * m.get('dedup_rate', 0.0):.1f}%)",
+        f"batches   : {m.get('batches', 0)} "
+        f"(largest {m.get('max_batch', 0)}, "
+        f"window {payload.get('batch_window', 0.0)}s)",
+    ]
+    if store:
+        lines.append(
+            f"store     : {store.get('root')} "
+            f"({store.get('entries', 0)} entries, "
+            f"{store.get('shards', 0)} shards)")
+    return "\n".join(lines)

@@ -1,0 +1,581 @@
+"""The experiment service daemon.
+
+A long-lived asyncio server multiplexing many clients onto one
+cache-backed execution stack (``repro serve``; unix socket by default,
+TCP opt-in). Three mechanisms turn concurrent request streams into
+throughput (DESIGN.md §13):
+
+1. **Request coalescing** — submits are keyed by their *resolved*
+   :class:`~repro.experiments.plan.RunSpec` (every runner/app default
+   filled in, so value-equal requests collide by construction). A submit
+   whose key is already in flight attaches to the existing execution's
+   future; when it resolves, every attached client receives the result.
+   Each unique spec therefore executes **at most once**, no matter how
+   many clients race on it.
+2. **Micro-batching** — new flights are not executed one by one: a
+   batching window (default 50 ms) lets concurrent submits accumulate,
+   then the whole batch goes to
+   :meth:`~repro.experiments.runner.ExperimentRunner.prefetch` as one
+   parallel prefetch, amortizing process-pool spin-up and sharing one
+   cache pass. Batches group by dataset scale (the one axis that needs
+   its own runner); the default scale is the server's, and a submit may
+   carry its own — which is how reduced-fidelity tuning rungs ride the
+   same daemon.
+3. **The sharded result store** — every runner shares the server's
+   :class:`~repro.experiments.store.ResultStore`, whose shard layout
+   keeps concurrent batch writers out of each other's directories.
+
+Execution runs on a single worker thread (batches serialize; parallelism
+comes from ``prefetch``'s process pool), so the runner needs no internal
+locking and the event loop stays responsive while simulations run.
+
+Graceful shutdown (the ``shutdown`` op, SIGTERM, or SIGINT) stops
+admission, drains the queue — every accepted submit still gets its
+result — then answers the shutdown request and exits.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .. import __version__
+from ..experiments.runner import ExperimentRunner, RunStats
+from ..sim.specs import CostModel, DEFAULT_COST_MODEL, DeviceSpec, K20C
+from .metrics import ServiceMetrics
+from .protocol import (MAX_LINE, PROTOCOL_VERSION, ProtocolError, decode,
+                       encode, error, ok, run_to_wire, spec_from_wire,
+                       stats_to_wire)
+
+#: default micro-batching window in seconds: long enough for a burst of
+#: concurrent clients to land in one batch, short enough to be invisible
+#: next to a single simulation
+DEFAULT_BATCH_WINDOW = 0.05
+
+
+#: bound on runners (one per distinct submitted dataset scale) the
+#: daemon keeps alive; least-recently-used beyond this are dropped,
+#: together with their materialized datasets
+MAX_RUNNERS = 8
+
+
+def _socket_is_live(path: str) -> bool:
+    """Whether something is accepting connections on a unix socket."""
+    import socket as _socket
+
+    probe = _socket.socket(_socket.AF_UNIX, _socket.SOCK_STREAM)
+    probe.settimeout(1.0)
+    try:
+        probe.connect(path)
+    except OSError:
+        return False
+    finally:
+        probe.close()
+    return True
+
+
+@dataclass
+class _Flight:
+    """One in-flight unique execution and everyone waiting on it."""
+
+    future: asyncio.Future
+    #: how the leader's run was satisfied ("executed" | "cached"),
+    #: filled when the batch resolves
+    source: str = ""
+
+
+@dataclass
+class _Job:
+    key: tuple
+    scale: float
+    resolved: object
+    flight: _Flight = field(repr=False)
+    #: the runner resolved at enqueue time — carried on the job so the
+    #: worker thread never reads the (LRU-mutated) runner map
+    runner: object = field(default=None, repr=False)
+
+
+class ExperimentService:
+    """The daemon: one instance per ``repro serve`` process.
+
+    Constructor arguments mirror :class:`ExperimentRunner` — the service
+    is the runner, made long-lived and shared.
+    """
+
+    def __init__(self, *, scale: float = 1.0, spec: DeviceSpec = K20C,
+                 cost: Optional[CostModel] = None, verify: bool = True,
+                 store=None, dataset_cache=None, tuned=None,
+                 tuned_objective: str = "cycles", jobs: int = 1,
+                 batch_window: float = DEFAULT_BATCH_WINDOW,
+                 name: str = "repro-service"):
+        self.scale = scale
+        self.spec = spec
+        self.cost = cost if cost is not None else DEFAULT_COST_MODEL
+        self.verify = verify
+        self.store = store
+        self.dataset_cache = dataset_cache
+        self.tuned = tuned
+        self.tuned_objective = tuned_objective
+        self.jobs = jobs
+        self.batch_window = batch_window
+        self.name = name
+        self.metrics = ServiceMetrics()
+        self.endpoint: str = "(not listening)"
+        self._runners: dict[float, ExperimentRunner] = {}
+        self._inflight: dict[tuple, _Flight] = {}
+        self._pending: list[_Job] = []
+        self._stopping = False
+        self._started = 0.0
+        self._conn_writers: set = set()
+        # loop-bound primitives, created inside serve()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._wake: Optional[asyncio.Event] = None
+        self._drained: Optional[asyncio.Event] = None
+        self._done: Optional[asyncio.Future] = None
+        self._active_submits = 0
+        self._submits_settled: Optional[asyncio.Event] = None
+
+    # -- runners ---------------------------------------------------------------
+
+    def _runner_for(self, scale: float) -> ExperimentRunner:
+        """One runner per requested dataset scale, all sharing the
+        server's store/dataset-cache/tuned registry (exactly the
+        tuning oracle's multi-fidelity arrangement).
+
+        The map is LRU-bounded at :data:`MAX_RUNNERS`: each runner pins
+        the datasets it materialized, so a client sweeping arbitrary
+        scales must not grow the daemon by a dataset set per distinct
+        float. Eviction only costs re-materialization (served by the
+        on-disk dataset cache when one is attached) — runs themselves
+        live in the result store."""
+        runner = self._runners.pop(scale, None)
+        if runner is None:
+            runner = ExperimentRunner(
+                scale=scale, spec=self.spec, cost=self.cost,
+                verify=self.verify, store=self.store,
+                dataset_cache=self.dataset_cache, tuned=self.tuned,
+                tuned_objective=self.tuned_objective, jobs=self.jobs)
+        # reinsert to mark most-recently-used (dicts keep insert order)
+        self._runners[scale] = runner
+        while len(self._runners) > MAX_RUNNERS:
+            oldest = next(iter(self._runners))
+            del self._runners[oldest]
+        return runner
+
+    # -- batch execution (worker thread) ---------------------------------------
+
+    def _run_batch(self, runner: ExperimentRunner, resolved: list):
+        """Execute one scale-group on the worker thread: a single
+        prefetch for the whole group, then per-spec result collection.
+        Returns ``(results, stats)`` aligned with ``resolved``; each
+        result is ``(run_wire, source)`` or the exception that spec
+        raised — one failing run must not fail its batchmates, so a
+        prefetch abort falls back to per-spec execution and only the
+        genuinely broken specs report errors."""
+        from dataclasses import replace
+
+        executed: set = set()
+        before = replace(runner.stats)
+        prefetched = True
+        try:
+            runner.prefetch(resolved, jobs=self.jobs, executed=executed)
+        except Exception:  # noqa: BLE001 — isolated per spec below
+            prefetched = False
+        # snapshot here so the collection pass's own cache reads below
+        # don't double-count: one request must report one lookup
+        mark = replace(runner.stats)
+        out = []
+        for spec in resolved:
+            try:
+                run = runner.run_spec(spec)
+            except Exception as exc:  # noqa: BLE001 — per-spec verdict
+                out.append(exc)
+                continue
+            source = "executed" if spec in executed else "cached"
+            out.append((run_to_wire(run), source))
+        # on the fallback path the collection loop did the real work,
+        # so its span is the honest delta
+        after = runner.stats if not prefetched else mark
+        stats = RunStats(executed=after.executed - before.executed,
+                         memory_hits=after.memory_hits - before.memory_hits,
+                         disk_hits=after.disk_hits - before.disk_hits)
+        if self.store is not None:
+            # a daemon must not accumulate result arrays across batches;
+            # the store keeps every run, so warm hits come from disk
+            runner.trim_memory()
+        return out, stats
+
+    async def _batch_loop(self) -> None:
+        """Accumulate submits for one batching window, then flush each
+        scale-group through the worker thread and resolve every flight."""
+        while True:
+            await self._wake.wait()
+            self._wake.clear()
+            if self._pending:
+                if self.batch_window > 0 and not self._stopping:
+                    await asyncio.sleep(self.batch_window)
+                batch, self._pending = self._pending, []
+                self.metrics.batches += 1
+                self.metrics.max_batch = max(self.metrics.max_batch,
+                                             len(batch))
+                groups: dict[float, list[_Job]] = {}
+                for job in batch:
+                    groups.setdefault(job.scale, []).append(job)
+                for scale, jobs in groups.items():
+                    await self._flush_group(scale, jobs)
+            if self._stopping and not self._pending:
+                self._drained.set()
+                return
+
+    async def _flush_group(self, scale: float, jobs: list[_Job]) -> None:
+        specs = [job.resolved for job in jobs]
+        try:
+            # any runner at this scale serves the whole group (they all
+            # share the store); the one carried on the job survives LRU
+            # eviction from the runner map
+            results, stats = await self._loop.run_in_executor(
+                None, self._run_batch, jobs[0].runner, specs)
+        except BaseException as exc:  # noqa: BLE001 — every waiter must learn
+            for job in jobs:
+                self._inflight.pop(job.key, None)
+                if not job.flight.future.done():
+                    job.flight.future.set_exception(
+                        RuntimeError(f"batch execution failed: {exc}"))
+            return
+        self.metrics.executed += stats.executed
+        self.metrics.cache_hits += sum(
+            1 for res in results
+            if not isinstance(res, BaseException) and res[1] == "cached")
+        stats_wire = stats_to_wire(stats)
+        for job, res in zip(jobs, results):
+            self._inflight.pop(job.key, None)
+            if job.flight.future.done():
+                continue
+            if isinstance(res, BaseException):
+                job.flight.future.set_exception(
+                    RuntimeError(f"execution failed: {res}"))
+            else:
+                run_wire, source = res
+                job.flight.source = source
+                job.flight.future.set_result((run_wire, stats_wire))
+
+    # -- request handling (event loop) -----------------------------------------
+
+    async def _submit(self, msg: dict, send) -> None:
+        self._active_submits += 1
+        try:
+            await self._submit_inner(msg, send)
+        finally:
+            self._active_submits -= 1
+            if self._active_submits == 0:
+                self._submits_settled.set()
+
+    async def _submit_inner(self, msg: dict, send) -> None:
+        rid = msg.get("id")
+        self.metrics.requests += 1
+        try:
+            import math
+
+            spec = spec_from_wire(msg.get("spec"))
+            scale = msg.get("scale")
+            scale = self.scale if scale is None else float(scale)
+            if not (math.isfinite(scale) and scale > 0):
+                # NaN would poison the in-flight/runner maps (it never
+                # equals itself), infinity the dataset generators
+                raise ProtocolError(f"scale must be a positive finite "
+                                    f"number, got {scale}")
+            # resolution validates the spec (unknown app/workload, a
+            # missing tuned config, variant/strategy contradictions)
+            # before anything is queued; TypeError covers a non-numeric
+            # scale — every malformed submit must get a reply, never a
+            # silently dead handler task
+            runner = self._runner_for(scale)
+            resolved = runner.resolve(spec)
+            key = (scale, resolved)
+            # probe hashability *inside* the guarded block: a non-scalar
+            # field that slipped past the protocol layer must error here,
+            # not kill the handler at the in-flight lookup below
+            hash(key)
+        except (ProtocolError, KeyError, ValueError, RuntimeError,
+                TypeError) as exc:
+            self.metrics.failed += 1
+            message = exc.args[0] if exc.args else exc
+            await send(error(rid, message))
+            return
+        if self._stopping:
+            self.metrics.failed += 1
+            await send(error(rid, "service is draining; resubmit after "
+                                  "restart"))
+            return
+        flight = self._inflight.get(key)
+        if flight is None:
+            flight = _Flight(future=self._loop.create_future())
+            self._inflight[key] = flight
+            self._pending.append(_Job(key=key, scale=scale,
+                                      resolved=resolved, flight=flight,
+                                      runner=runner))
+            self._wake.set()
+            coalesced = False
+        else:
+            self.metrics.coalesced += 1
+            coalesced = True
+        try:
+            # shield: a disconnecting client must not cancel the shared
+            # execution other clients are attached to
+            run_wire, stats_wire = await asyncio.shield(flight.future)
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # noqa: BLE001 — reported, not fatal
+            self.metrics.failed += 1
+            await send(error(rid, exc))
+            return
+        self.metrics.completed += 1
+        await send(ok(rid, run=run_wire, stats=stats_wire,
+                      source="coalesced" if coalesced else flight.source))
+
+    def status_payload(self) -> dict:
+        payload = {
+            "server": self.name,
+            "version": __version__,
+            "protocol": PROTOCOL_VERSION,
+            "endpoint": self.endpoint,
+            "device": self.spec.name,
+            "scale": self.scale,
+            "jobs": self.jobs,
+            "verify": self.verify,
+            "batch_window": self.batch_window,
+            "uptime_s": time.monotonic() - self._started,
+            "queue_depth": len(self._pending),
+            "inflight": len(self._inflight),
+            "draining": self._stopping,
+            "metrics": self.metrics.snapshot(),
+            "store": None,
+        }
+        if self.store is not None:
+            # one directory scan, not the two len()+shard_info() would do
+            info = self.store.shard_info()
+            payload["store"] = {"root": str(self.store.root),
+                                "entries": (info["sharded_entries"]
+                                            + info["legacy_entries"]),
+                                **info}
+        return payload
+
+    async def _await_settled(self) -> None:
+        """Wait out the drain: queue empty *and* every drained submit
+        handler done writing its response — the guarantee that every
+        accepted request is answered before anything tears down."""
+        await self._drained.wait()
+        while self._active_submits:
+            self._submits_settled.clear()
+            await self._submits_settled.wait()
+
+    async def _shutdown(self, msg: dict, send) -> None:
+        rid = msg.get("id")
+        # every queued job is also in the in-flight map, so the map
+        # alone is the count of work the drain still owes answers for
+        drained = len(self._inflight)
+        self.initiate_shutdown()
+        await self._await_settled()
+        await send(ok(rid, drained=drained,
+                      metrics=self.metrics.snapshot()))
+        if not self._done.done():
+            self._done.set_result(None)
+
+    def initiate_shutdown(self) -> None:
+        """Stop admitting work and start draining (signal-safe entry:
+        the signal handlers call this on the loop thread)."""
+        self._stopping = True
+        if self._wake is not None:
+            self._wake.set()
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        self.metrics.connections += 1
+        self._conn_writers.add(writer)
+        wlock = asyncio.Lock()
+        tasks: set[asyncio.Task] = set()
+
+        async def send(payload: dict) -> None:
+            async with wlock:
+                writer.write(encode(payload))
+                await writer.drain()
+
+        try:
+            # handshake: exactly one hello, version-checked, first
+            try:
+                line = await reader.readline()
+            except ValueError:  # line beyond the stream limit
+                await send(error(None, f"message exceeds {MAX_LINE} bytes"))
+                return
+            if not line:
+                return
+            try:
+                hello = decode(line)
+            except ProtocolError as exc:
+                await send(error(None, exc))
+                return
+            if hello.get("op") != "hello" \
+                    or hello.get("protocol") != PROTOCOL_VERSION:
+                await send(error(hello.get("id"),
+                                 f"protocol version mismatch: server speaks "
+                                 f"v{PROTOCOL_VERSION}, client sent "
+                                 f"{hello.get('protocol')!r}"))
+                return
+            await send(ok(hello.get("id"), op="hello",
+                          protocol=PROTOCOL_VERSION, server=self.name,
+                          version=__version__, device=self.spec.name,
+                          scale=self.scale, verify=self.verify))
+            while True:
+                try:
+                    line = await reader.readline()
+                except ValueError:
+                    # an oversized line cannot be resynchronized past;
+                    # report and hang up rather than misparse the tail
+                    await send(error(None,
+                                     f"message exceeds {MAX_LINE} bytes"))
+                    break
+                if not line:
+                    break
+                try:
+                    msg = decode(line)
+                except ProtocolError as exc:
+                    await send(error(None, exc))
+                    break
+                op = msg.get("op")
+                if op == "submit":
+                    # a task per submit, so one connection can pipeline
+                    # many and they coalesce/batch like separate clients
+                    task = asyncio.ensure_future(self._submit(msg, send))
+                    tasks.add(task)
+                    task.add_done_callback(tasks.discard)
+                elif op == "status":
+                    await send(ok(msg.get("id"), **self.status_payload()))
+                elif op == "shutdown":
+                    task = asyncio.ensure_future(self._shutdown(msg, send))
+                    tasks.add(task)
+                    task.add_done_callback(tasks.discard)
+                else:
+                    await send(error(msg.get("id"), f"unknown op {op!r}"))
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            # let this connection's pipelined submits finish writing
+            # before the writer closes under them
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+            self._conn_writers.discard(writer)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    async def serve(self, socket_path=None, host: Optional[str] = None,
+                    port: Optional[int] = None, ready=None) -> None:
+        """Listen and serve until shut down (op, SIGTERM, or SIGINT).
+
+        ``socket_path`` selects the default unix-socket transport;
+        ``host``/``port`` opt into TCP instead. ``ready`` is an optional
+        zero-argument callable invoked once the endpoint is listening
+        (the CLI prints its banner there; tests and the bench unblock
+        their client threads)."""
+        if (host is None) == (socket_path is None):
+            raise ValueError("serve() takes a unix socket_path or a TCP "
+                             "host/port, not both")
+        self._loop = asyncio.get_running_loop()
+        self._wake = asyncio.Event()
+        self._drained = asyncio.Event()
+        self._submits_settled = asyncio.Event()
+        self._done = self._loop.create_future()
+        self._started = time.monotonic()
+        self._stopping = False
+
+        import signal
+
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            with contextlib.suppress(NotImplementedError, ValueError,
+                                     RuntimeError):
+                self._loop.add_signal_handler(sig, self._signal_shutdown)
+
+        bound_inode = None
+        if socket_path is not None:
+            path = str(socket_path)
+            from pathlib import Path
+
+            Path(path).parent.mkdir(parents=True, exist_ok=True)
+            # a leftover socket file may be a *live* daemon, not litter:
+            # probe before unlinking, so a second `repro serve` refuses
+            # to hijack instead of silently orphaning the first
+            if Path(path).exists():
+                if _socket_is_live(path):
+                    raise RuntimeError(
+                        f"another experiment service is already listening "
+                        f"on {path}; stop it (`repro shutdown`) or pick a "
+                        f"different --socket")
+                with contextlib.suppress(OSError):
+                    Path(path).unlink()
+            server = await asyncio.start_unix_server(self._handle, path=path,
+                                                     limit=MAX_LINE)
+            import os
+
+            with contextlib.suppress(OSError):
+                bound_inode = os.stat(path).st_ino
+            self.endpoint = f"unix:{path}"
+        else:
+            server = await asyncio.start_server(self._handle, host=host,
+                                                port=port, limit=MAX_LINE)
+            addr = server.sockets[0].getsockname()
+            self.endpoint = f"tcp:{addr[0]}:{addr[1]}"
+        batcher = asyncio.ensure_future(self._batch_loop())
+        if ready is not None:
+            ready()
+        try:
+            await self._done
+            # a signal-initiated shutdown never awaited the drain
+            self.initiate_shutdown()
+            await self._drained.wait()
+        finally:
+            server.close()
+            await server.wait_closed()
+            # hang up on lingering clients and let their handler tasks
+            # finish normally, so loop teardown never hard-cancels one
+            # mid-read (which asyncio logs as an unhandled error)
+            for lingering in list(self._conn_writers):
+                lingering.close()
+            deadline = self._loop.time() + 2.0
+            while self._conn_writers and self._loop.time() < deadline:
+                await asyncio.sleep(0.01)
+            batcher.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await batcher
+            if socket_path is not None:
+                # remove the socket file only if it is still *ours* — a
+                # replacement daemon may have bound a fresh one there
+                import os
+
+                with contextlib.suppress(OSError):
+                    if os.stat(str(socket_path)).st_ino == bound_inode:
+                        os.unlink(str(socket_path))
+
+    def _signal_shutdown(self) -> None:
+        """SIGTERM/SIGINT path: same drain discipline as the protocol
+        op — connections must not be torn down while drained submits
+        are still writing their responses."""
+        self.initiate_shutdown()
+        asyncio.ensure_future(self._finish_after_drain())
+
+    async def _finish_after_drain(self) -> None:
+        await self._await_settled()
+        if self._done is not None and not self._done.done():
+            self._done.set_result(None)
+
+    def run(self, socket_path=None, host: Optional[str] = None,
+            port: Optional[int] = None, ready=None) -> None:
+        """Blocking entry point: own event loop, serve until shutdown.
+        Usable from any thread (the test fixture and the service bench
+        run the daemon on a background thread)."""
+        asyncio.run(self.serve(socket_path=socket_path, host=host,
+                               port=port, ready=ready))

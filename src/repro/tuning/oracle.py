@@ -13,6 +13,17 @@ Multi-fidelity search (successive halving) evaluates candidates at a
 *fraction* of the tuning dataset scale; the oracle keeps one runner per
 distinct scale, all sharing the same on-disk store, so low-fidelity
 rungs are cached exactly like full-fidelity runs.
+
+With a service client attached (``client=``; ``repro tune --socket``),
+evaluation goes through the experiment service instead of local
+runners: each batch is pipelined as one ``submit_many``, so the daemon
+coalesces duplicates across *every* connected tuner and serves repeats
+from its shared store. Reduced-fidelity rungs simply submit with their
+rung scale — the server keeps a runner per scale, mirroring this
+oracle's local arrangement. The client and server must agree on the
+tuning context (device spec, cost model, verify flag); both default to
+the same values, and the handshake exposes the server's so the CLI can
+warn on mismatch.
 """
 
 from __future__ import annotations
@@ -49,13 +60,18 @@ class SimulationOracle:
                  cost: Optional[CostModel] = None,
                  store=None, jobs: int = 1, verify: bool = True,
                  runner: Optional[ExperimentRunner] = None,
-                 workload=None, dataset_cache=None):
+                 workload=None, dataset_cache=None, client=None):
         self.app = app
         self.objective: Objective = get_objective(objective)
         #: canonical workload reference every candidate is scored on
         #: (None: the app's default dataset)
         self.workload = workload
         self.dataset_cache = dataset_cache
+        #: optional :class:`repro.service.ServiceClient`; when set,
+        #: evaluation submits through the experiment service instead of
+        #: local runners
+        self.client = client
+        self._client_stats = RunStats()
         if runner is not None:
             # pin full-fidelity evaluations to an existing runner (and
             # share its store/device/cost/parallelism with any
@@ -108,9 +124,11 @@ class SimulationOracle:
         regardless of worker completion order.
         """
         candidates = list(candidates)
-        runner = self.runner_for(factor)
         specs = [c.run_spec(self.app, self.spec, workload=self.workload)
                  for c in candidates]
+        if self.client is not None:
+            return self._evaluate_remote(candidates, specs, factor)
+        runner = self.runner_for(factor)
         runner.prefetch(specs, jobs=self.jobs)
         trials = []
         for cand, spec in zip(candidates, specs):
@@ -120,13 +138,40 @@ class SimulationOracle:
                                 scale=runner.scale))
         return trials
 
+    def _evaluate_remote(self, candidates, specs,
+                         factor: float) -> list[Trial]:
+        """Score one batch through the experiment service: a single
+        pipelined ``submit_many``, so the daemon coalesces duplicates
+        and micro-batches the rest."""
+        scale = self._rung_scale(factor)
+        results = self.client.submit_many(specs, scale=scale)
+        trials = []
+        for cand, res in zip(candidates, results):
+            value = self.objective.value(res.metrics)
+            trials.append(Trial(candidate=cand, value=value,
+                                loss=self.objective.loss(value),
+                                scale=scale))
+            # provenance mapping for :meth:`stats`: server-side cache
+            # hits report as disk hits (they came off the shared store
+            # or its memory image), coalesced joins as memory hits
+            if res.source == "executed":
+                self._client_stats.executed += 1
+            elif res.source == "coalesced":
+                self._client_stats.memory_hits += 1
+            else:
+                self._client_stats.disk_hits += 1
+        return trials
+
     def is_full_fidelity(self, trial: Trial) -> bool:
         return trial.scale == self.scale
 
     def stats(self) -> RunStats:
         """Aggregate run provenance across every fidelity runner (only
-        the work done since this oracle adopted each runner)."""
-        total = RunStats()
+        the work done since this oracle adopted each runner), plus any
+        service-side evaluations."""
+        total = RunStats(executed=self._client_stats.executed,
+                         memory_hits=self._client_stats.memory_hits,
+                         disk_hits=self._client_stats.disk_hits)
         for scale, runner in self._runners.items():
             base = self._baselines[scale]
             total.executed += runner.stats.executed - base.executed

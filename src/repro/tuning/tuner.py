@@ -92,6 +92,11 @@ class Tuner:
     #: optional on-disk cache of materialized datasets shared by every
     #: fidelity runner (:class:`repro.workloads.DatasetCache`)
     dataset_cache: object = None
+    #: optional :class:`repro.service.ServiceClient` — when attached
+    #: (``repro tune --socket``), every candidate evaluation submits
+    #: through the experiment service instead of local runners, sharing
+    #: the daemon's coalescing, batching, and result store
+    service: object = None
     #: run provenance accumulated across every tune() call
     stats: RunStats = field(default_factory=RunStats, repr=False)
 
@@ -100,7 +105,8 @@ class Tuner:
         return SimulationOracle(
             app, objective, scale=self.scale, spec=self.spec, cost=self.cost,
             store=self.store, jobs=self.jobs, verify=self.verify,
-            workload=workload, dataset_cache=self.dataset_cache)
+            workload=workload, dataset_cache=self.dataset_cache,
+            client=self.service)
 
     def _canonical_workload(self, app: str, workload):
         """Same default-folding rule as the experiment runner (shared

@@ -134,6 +134,112 @@ class TestResultStore:
         assert len(store) == 0
 
 
+class TestShardedLayout:
+    """The store spreads writes over shard directories while reading
+    the pre-shard flat layout transparently (DESIGN.md §13)."""
+
+    KEY = "7f" + "e" * 62
+
+    def test_put_lands_in_computed_shard(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(self.KEY, {"v": 1})
+        path = store.path_for(self.KEY)
+        assert path.exists()
+        assert path.parent.name == f"shard-{store.shard_for(self.KEY):02d}"
+        assert store.get(self.KEY) == {"v": 1}
+
+    def test_legacy_flat_entries_are_read(self, tmp_path):
+        legacy = tmp_path / self.KEY[:2] / f"{self.KEY}.pkl"
+        legacy.parent.mkdir(parents=True)
+        legacy.write_bytes(pickle.dumps({"v": "old"}))
+        store = ResultStore(tmp_path)
+        assert self.KEY in store
+        assert store.get(self.KEY) == {"v": "old"}
+        assert len(store) == 1
+
+    @staticmethod
+    def _backdate(path, seconds=60):
+        import os
+        import time
+
+        old = time.time() - seconds
+        os.utime(path, (old, old))
+
+    def test_put_migrates_legacy_entry(self, tmp_path):
+        legacy = tmp_path / self.KEY[:2] / f"{self.KEY}.pkl"
+        legacy.parent.mkdir(parents=True)
+        legacy.write_bytes(pickle.dumps({"v": "old"}))
+        self._backdate(legacy)
+        store = ResultStore(tmp_path)
+        store.put(self.KEY, {"v": "new"})
+        assert not legacy.exists()
+        assert len(store) == 1
+        assert store.get(self.KEY) == {"v": "new"}
+
+    def test_foreign_shard_count_still_found(self, tmp_path):
+        ResultStore(tmp_path, shards=16).put(self.KEY, {"v": 3})
+        other = ResultStore(tmp_path, shards=5)
+        assert self.KEY in other
+        assert other.get(self.KEY) == {"v": 3}
+
+    def test_put_migrates_foreign_shard_copy(self, tmp_path):
+        """A rewrite under a different shard count must not leave the
+        old copy to double-count or shadow the new one."""
+        first = ResultStore(tmp_path, shards=16)
+        first.put(self.KEY, {"v": "old"})
+        self._backdate(first.path_for(self.KEY))
+        other = ResultStore(tmp_path, shards=5)
+        assert other.path_for(self.KEY) != first.path_for(self.KEY)
+        other.put(self.KEY, {"v": "new"})
+        assert len(other) == 1
+        assert ResultStore(tmp_path, shards=16).get(self.KEY) == {"v": "new"}
+
+    def test_put_never_deletes_a_concurrent_fresh_copy(self, tmp_path):
+        """Two writers with different shard counts landing the same key
+        at the same time must not unlink each other — a same-age
+        duplicate is tolerated, a vanished key is not."""
+        a = ResultStore(tmp_path, shards=16)
+        b = ResultStore(tmp_path, shards=5)
+        a.put(self.KEY, {"v": "a"})
+        b.put(self.KEY, {"v": "b"})  # a's copy is fresh: must survive
+        assert a.path_for(self.KEY).exists()
+        assert b.path_for(self.KEY).exists()
+        assert a.get(self.KEY) is not None
+        assert b.get(self.KEY) is not None
+
+    def test_shard_info_counts_both_layouts(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(self.KEY, {"v": 1})
+        legacy_key = "1a" + "b" * 62
+        legacy = tmp_path / legacy_key[:2] / f"{legacy_key}.pkl"
+        legacy.parent.mkdir(parents=True)
+        legacy.write_bytes(pickle.dumps({"v": "old"}))
+        info = store.shard_info()
+        assert info["sharded_entries"] == 1
+        assert info["legacy_entries"] == 1
+        assert info["populated"] == 1
+        assert len(store) == 2
+        assert store.clear() == 2
+
+    def test_shard_count_env_override(self, tmp_path, monkeypatch):
+        from repro.experiments.store import SHARDS_ENV
+
+        monkeypatch.setenv(SHARDS_ENV, "4")
+        assert ResultStore(tmp_path).shards == 4
+        monkeypatch.setenv(SHARDS_ENV, "junk")
+        assert ResultStore(tmp_path).shards == 16
+
+    def test_cache_info_cli_reports_layout(self, tmp_path, capsys):
+        from repro.cli import main
+
+        store = ResultStore(tmp_path)
+        store.put(self.KEY, {"v": 1})
+        assert main(["cache", "info", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "16 shards" in out
+        assert "entries   : 1" in out
+
+
 class TestMissingCacheDir:
     """Regression: ``repro cache info`` on a --cache-dir that does not
     exist must report an empty cache, not raise (and must not create
