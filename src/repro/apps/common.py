@@ -98,6 +98,8 @@ class AppRun:
     #: consolidation strategy, when the variant alone doesn't imply one
     #: (i.e. a non-builtin strategy ran under the 'consolidated' variant)
     strategy: Optional[str] = None
+    #: execution backend the run used; None = the default simulator
+    backend: Optional[str] = None
 
 
 class App(abc.ABC):
@@ -209,15 +211,18 @@ class App(abc.ABC):
             spec: DeviceSpec = K20C, cost: CostModel = DEFAULT_COST_MODEL,
             heap_bytes: Optional[int] = None, verify: bool = True,
             threshold: Optional[int] = None,
-            strategy: Optional[str] = None) -> AppRun:
-        """Execute one variant on a fresh simulated device and profile it.
+            strategy: Optional[str] = None,
+            backend: Optional[str] = None) -> AppRun:
+        """Execute one variant on a fresh device and profile it.
 
         ``threshold`` overrides the app's work-delegation threshold for
         this run only (the ablation harness sweeps it); ``strategy``
         selects the consolidation strategy for the ``consolidated``
-        variant. The returned :class:`AppRun` is plain picklable data,
-        so the experiment runner can execute runs in worker processes
-        and persist them in its on-disk result store.
+        variant; ``backend`` names a registered execution backend
+        (:mod:`repro.backends`; ``None`` = the simulator). The returned
+        :class:`AppRun` is plain picklable data, so the experiment
+        runner can execute runs in worker processes and persist them in
+        its on-disk result store.
         """
         variant, strategy = canonicalize_variant(variant, strategy)
         if dataset is None:
@@ -228,8 +233,16 @@ class App(abc.ABC):
         try:
             source, report = self.variant_source(variant, config=config,
                                                  spec=spec, strategy=strategy)
-            kwargs = {} if heap_bytes is None else {"heap_bytes": heap_bytes}
-            device = Device(spec=spec, cost=cost, allocator=allocator, **kwargs)
+            if backend is None:
+                kwargs = {} if heap_bytes is None else {"heap_bytes": heap_bytes}
+                device = Device(spec=spec, cost=cost, allocator=allocator,
+                                **kwargs)
+            else:
+                from ..backends import get_backend
+
+                device = get_backend(backend).make_device(
+                    spec=spec, cost=cost, allocator=allocator,
+                    heap_bytes=heap_bytes)
             program = device.load(source)
             result = self.host_run(device, program, dataset, variant)
             metrics = device.synchronize()
@@ -247,7 +260,7 @@ class App(abc.ABC):
             app=self.key, variant=variant,
             dataset=getattr(dataset, "name", str(dataset)),
             metrics=metrics, result=result, report=report, checked=checked,
-            strategy=strategy,
+            strategy=strategy, backend=backend,
         )
 
 

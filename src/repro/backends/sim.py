@@ -1,0 +1,33 @@
+"""Simulator backend: the default execution target.
+
+A thin adapter that gives :class:`repro.sim.device.Device` a seat in the
+backend registry, so ``--backend sim`` (or omitting the flag entirely)
+means exactly what every run before the registry existed meant.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim.device import Device
+from ..sim.specs import CostModel, DEFAULT_COST_MODEL, DeviceSpec, K20C
+
+from .base import Backend
+
+
+class SimBackend(Backend):
+    """The SIMT functional simulator with the timing/occupancy models."""
+
+    name = "sim"
+    summary = "SIMT functional simulator with timing model (default)"
+    executes = True
+    emits = False
+
+    def make_device(self, spec: DeviceSpec = K20C,
+                    cost: CostModel = DEFAULT_COST_MODEL,
+                    allocator: str = "custom",
+                    heap_bytes: Optional[int] = None) -> Device:
+        kwargs = {}
+        if heap_bytes is not None:
+            kwargs["heap_bytes"] = heap_bytes
+        return Device(spec=spec, cost=cost, allocator=allocator, **kwargs)

@@ -154,6 +154,12 @@ def main(argv=None) -> int:
     p.add_argument("--objective", default="cycles",
                    choices=list(OBJECTIVES),
                    help="which tuned config the 'tuned' variant consumes")
+    from .backends import available_backends
+
+    p.add_argument("--backend", default=None,
+                   choices=list(available_backends()),
+                   help="execution backend (default: sim, the simulator; "
+                        "'cpu' cross-checks on the NumPy interpreter)")
     _add_scale(p)
     _add_cache(p)
 
@@ -163,6 +169,11 @@ def main(argv=None) -> int:
                    default=None, choices=list(available_strategies()),
                    help="consolidation strategy (default: the pragma's "
                         "consldt clause)")
+    p.add_argument("--backend", default=None,
+                   choices=list(available_backends()),
+                   help="lower through an emitting backend ('cuda' emits "
+                        "a self-contained .cu unit; default: print the "
+                        "consolidated MiniCUDA itself)")
     _add_threshold(p)
 
     p = sub.add_parser(
@@ -282,6 +293,12 @@ def main(argv=None) -> int:
         for name in available_searches():
             print(f"  {name:10s} {get_search(name).summary}")
         print("objectives:", ", ".join(OBJECTIVES))
+        from .backends import available_backends as _backends
+        from .backends import get_backend as _get_backend
+
+        print("backends (repro run/compile --backend):")
+        for name in _backends():
+            print(f"  {name:10s} {_get_backend(name).summary}")
         from .workloads import available_workloads, get_workload
 
         print("workloads (repro run --workload; `repro workloads list` "
@@ -355,6 +372,19 @@ def main(argv=None) -> int:
                                  granularity=args.strategy)
         threshold = (args.threshold if args.threshold is not None
                      else app.threshold)
+        if args.backend is not None:
+            from .backends import BackendError, get_backend
+
+            try:
+                backend = get_backend(args.backend)
+                emitted = backend.emit(
+                    res.source,
+                    name=f"{args.app}_{args.strategy or 'pragma'}")
+            except BackendError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            print(emitted)
+            return 0
         print(f"// {res.report.describe()}")
         print(f"// delegation threshold: {threshold} (host launch argument; "
               "the generated code is threshold-independent)")
@@ -385,7 +415,8 @@ def main(argv=None) -> int:
             tuned=registry, tuned_objective=args.objective)
         spec = RunSpec(app=args.app, variant=args.variant,
                        allocator=args.allocator, threshold=args.threshold,
-                       strategy=args.strategy, workload=args.workload)
+                       strategy=args.strategy, workload=args.workload,
+                       backend=args.backend)
         t0 = time.time()
         try:
             if args.variant == "tuned":
@@ -409,6 +440,8 @@ def main(argv=None) -> int:
         wall = time.time() - t0
         label = run.variant if run.strategy is None else \
             f"{run.variant}:{run.strategy}"
+        if run.backend is not None:
+            label += f"@{run.backend}"
         print(f"{app.label} [{label}] on {run.dataset} "
               f"(verified={run.checked}, wall={wall:.1f}s)")
         if run.report is not None:

@@ -45,6 +45,12 @@ class RunSpec:
     every pre-existing cache key. ``dataset`` names a dataset explicitly
     registered on the runner (:meth:`ExperimentRunner.register_dataset`,
     e.g. Fig. 6's tree datasets) — at most one of the two may be set.
+
+    ``backend`` names a registered execution backend
+    (:mod:`repro.backends`); ``None`` means the default simulator, and
+    the runner folds an explicit ``'sim'`` onto ``None`` the same way
+    the workload axis folds defaults, so pre-backend cache keys are
+    preserved byte-for-byte.
     """
 
     app: str
@@ -56,6 +62,7 @@ class RunSpec:
     threshold: Optional[int] = None
     strategy: Optional[str] = None
     workload: Optional[str] = None
+    backend: Optional[str] = None
 
     @staticmethod
     def config_key(config: Optional[LaunchConfig]) -> Optional[tuple]:

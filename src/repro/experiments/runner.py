@@ -76,6 +76,7 @@ def _execute(spec: RunSpec, dataset, device_spec: DeviceSpec,
         verify=verify,
         threshold=spec.threshold,
         strategy=spec.strategy,
+        backend=spec.backend,
     )
 
 
@@ -254,6 +255,9 @@ class ExperimentRunner:
                 f"{spec.dataset!r}, workload={spec.workload!r})")
         if workload != spec.workload:
             spec = replace(spec, workload=workload)
+        backend = self._canonical_backend(spec.backend)
+        if backend != spec.backend:
+            spec = replace(spec, backend=backend)
         if spec.variant == TUNED:
             spec = self._resolve_tuned(spec)
         variant, strategy = canonicalize_variant(spec.variant, spec.strategy)
@@ -265,6 +269,24 @@ class ExperimentRunner:
             return spec
         return replace(spec, variant=variant, strategy=strategy,
                        cost=cost, threshold=threshold)
+
+    @staticmethod
+    def _canonical_backend(backend: Optional[str]) -> Optional[str]:
+        """Canonicalize a backend name: the default simulator folds onto
+        None (so the axis never forks pre-existing cache entries), other
+        names are validated against the registry and must execute."""
+        if backend is None:
+            return None
+        from ..backends import DEFAULT_BACKEND, get_backend
+
+        resolved = get_backend(backend)  # raises BackendError if unknown
+        if not resolved.executes:
+            raise ValueError(
+                f"backend {resolved.name!r} does not execute programs; "
+                "use `repro compile --backend` for emit-only backends")
+        if resolved.name == DEFAULT_BACKEND:
+            return None
+        return resolved.name
 
     def _content_key(self, resolved: RunSpec) -> str:
         from .. import __version__
@@ -283,6 +305,7 @@ class ExperimentRunner:
             version=__version__,
             strategy=resolved.strategy,
             workload=resolved.workload,
+            backend=resolved.backend,
         )
 
     # -- execution ------------------------------------------------------------
@@ -350,12 +373,13 @@ class ExperimentRunner:
             cost: Optional[CostModel] = None,
             threshold: Optional[int] = None,
             strategy: Optional[str] = None,
-            workload: Optional[str] = None) -> AppRun:
+            workload: Optional[str] = None,
+            backend: Optional[str] = None) -> AppRun:
         return self.run_spec(RunSpec(
             app=app_key, variant=variant, allocator=allocator,
             config=RunSpec.config_key(config), dataset=dataset_name,
             cost=cost, threshold=threshold, strategy=strategy,
-            workload=workload,
+            workload=workload, backend=backend,
         ))
 
     def prefetch(self, specs: Iterable[RunSpec],

@@ -105,7 +105,8 @@ def run_key(*, app: str, variant: str, allocator: str,
             config: Optional[tuple], dataset_fp: str,
             cost, spec, threshold: int, verify: bool,
             version: str, strategy: Optional[str] = None,
-            workload: Optional[str] = None) -> str:
+            workload: Optional[str] = None,
+            backend: Optional[str] = None) -> str:
     """Stable content address for one application run.
 
     ``strategy`` is the consolidation-strategy axis; it is ``None`` for
@@ -120,6 +121,12 @@ def run_key(*, app: str, variant: str, allocator: str,
     workloads that happen to collide on content), and omitting the
     ``None`` case keeps every pre-PR-4 key byte-identical — which is why
     the workload axis did *not* bump ``STORE_FORMAT`` (DESIGN.md §12).
+
+    ``backend`` follows the same only-when-set rule: the runner folds
+    the default ``'sim'`` onto ``None`` before keying, so every
+    pre-backend key is byte-identical and only genuinely different
+    execution targets (e.g. ``'cpu'``) get distinct addresses
+    (DESIGN.md §14).
     """
     payload = {
         "format": STORE_FORMAT,
@@ -137,6 +144,8 @@ def run_key(*, app: str, variant: str, allocator: str,
     }
     if workload is not None:
         payload["workload"] = workload
+    if backend is not None:
+        payload["backend"] = backend
     blob = json.dumps(payload, sort_keys=True, default=str)
     return hashlib.sha256(blob.encode()).hexdigest()
 

@@ -9,6 +9,20 @@ from repro.sim.device import Device
 from repro.sim.specs import TINY
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens", action="store_true", default=False,
+        help="rewrite tests/fixtures/golden_cuda/*.cu from the current "
+             "emitter output instead of comparing against it")
+
+
+@pytest.fixture
+def update_goldens(request):
+    """Whether this run should rewrite golden files instead of asserting
+    against them (the ``--update-goldens`` flag)."""
+    return request.config.getoption("--update-goldens")
+
+
 @pytest.fixture
 def device():
     """A default simulated K20c with the pre-allocated pool allocator."""

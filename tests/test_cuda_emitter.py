@@ -1,0 +1,185 @@
+"""CUDA-C emitter tests: goldens, determinism, and syntax sanity.
+
+The emitter lowers consolidated MiniCUDA to self-contained ``.cu`` files
+with real ``<<<grid, block>>>`` child launches — nothing here needs a
+GPU. Three properties are locked down:
+
+1. **Goldens** — one checked-in ``.cu`` per app x strategy under
+   ``tests/fixtures/golden_cuda/``; emission must match modulo comments
+   and whitespace (``normalize_cuda``). Regenerate with
+   ``pytest --update-goldens``.
+2. **Determinism / idempotence** — byte-identical output across repeated
+   emission, across cache clears, and across *processes* (no timestamps,
+   no dict-order or hash-seed dependence).
+3. **Syntax sanity** — every emitted file passes ``check_cu_syntax``
+   (balanced brackets outside strings/comments, every launched or called
+   kernel declared before use), including hypothesis-fuzzed programs.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+
+from repro.apps import all_apps
+from repro.backends import (
+    check_cu_syntax,
+    clear_emit_cache,
+    emit_cuda,
+    normalize_cuda,
+)
+from repro.compiler import consolidate_source
+
+from tests.helpers import make_fuzz_kernel, minicuda_body
+
+GOLDEN_DIR = Path(__file__).parent / "fixtures" / "golden_cuda"
+STRATEGIES = ("warp", "block", "grid")
+
+APP_KEYS = [a.key for a in all_apps()]
+GOLDEN_CASES = [(key, gran) for key in APP_KEYS for gran in STRATEGIES]
+
+
+def emit_app(key: str, gran: str) -> str:
+    from repro.apps import get_app
+
+    src = consolidate_source(get_app(key).annotated_source(),
+                             granularity=gran).source
+    return emit_cuda(src, name=f"{key}_{gran}")
+
+
+# -- goldens ------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("key,gran", GOLDEN_CASES,
+                         ids=[f"{k}_{g}" for k, g in GOLDEN_CASES])
+def test_golden(key, gran, update_goldens):
+    cu = emit_app(key, gran)
+    path = GOLDEN_DIR / f"{key}_{gran}.cu"
+    if update_goldens:
+        GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+        path.write_text(cu)
+        return
+    assert path.exists(), (
+        f"missing golden {path.name}; run `pytest --update-goldens` "
+        "and commit the result")
+    assert normalize_cuda(cu) == normalize_cuda(path.read_text()), (
+        f"emitter output changed for {key} x {gran}; if intended, "
+        "regenerate with `pytest --update-goldens`")
+
+
+def test_no_stale_goldens():
+    expected = {f"{k}_{g}.cu" for k, g in GOLDEN_CASES}
+    actual = {p.name for p in GOLDEN_DIR.glob("*.cu")}
+    assert actual == expected
+
+
+@pytest.mark.parametrize("key,gran", GOLDEN_CASES,
+                         ids=[f"{k}_{g}" for k, g in GOLDEN_CASES])
+def test_goldens_pass_syntax_check(key, gran):
+    assert check_cu_syntax(emit_app(key, gran)) == []
+
+
+# -- determinism / idempotence ------------------------------------------------
+
+
+class TestDeterminism:
+    def test_cache_returns_identical_object(self):
+        src = consolidate_source(
+            all_apps()[0].annotated_source(), granularity="block").source
+        first = emit_cuda(src, name="det")
+        assert emit_cuda(src, name="det") is first
+
+    def test_byte_identical_across_cache_clears(self):
+        src = consolidate_source(
+            all_apps()[0].annotated_source(), granularity="block").source
+        first = emit_cuda(src, name="det")
+        clear_emit_cache()
+        assert emit_cuda(src, name="det") == first
+
+    def test_byte_identical_across_processes(self):
+        """Emission in a fresh interpreter (fresh hash seed, fresh import
+        order) must produce the same bytes — no hidden nondeterminism."""
+        key, gran = APP_KEYS[0], "block"
+        local = emit_app(key, gran)
+        code = (
+            "import sys; sys.path.insert(0, 'src'); sys.path.insert(0, '.')\n"
+            "from tests.test_cuda_emitter import emit_app\n"
+            f"sys.stdout.write(emit_app({key!r}, {gran!r}))\n"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", code], cwd=Path(__file__).parent.parent,
+            capture_output=True, text=True, check=True)
+        assert out.stdout == local
+
+
+# -- structural content -------------------------------------------------------
+
+
+_PLAIN = """
+__global__ void add_one(int* out, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) { out[i] = out[i] + 1; }
+}
+"""
+
+
+class TestEmittedStructure:
+    def test_plain_kernel_has_stub_but_no_dp_runtime(self):
+        cu = emit_cuda(_PLAIN, name="plain")
+        assert 'extern "C" void launch_add_one' in cu
+        # no consolidation intrinsics used -> the runtime block stays out
+        assert "__dp_buffer_t" not in cu
+
+    def test_consolidated_kernel_has_real_child_launches(self):
+        cu = emit_app(APP_KEYS[0], "grid")
+        assert "<<<" in cu and ">>>" in cu
+        assert "__dp_buffer_t" in cu
+        assert "cudaDeviceSynchronize" in cu or "__syncthreads" in cu
+
+    def test_pragmas_are_stripped(self):
+        for key, gran in GOLDEN_CASES[:3]:
+            assert "#pragma dp" not in emit_app(key, gran)
+
+
+# -- the normalizer and the checker -------------------------------------------
+
+
+class TestNormalize:
+    def test_strips_comments_and_whitespace(self):
+        a = "int  x = 1;  // say hi\n\n/* block\ncomment */\nint y;\n"
+        b = "int x = 1;\nint y;\n"
+        assert normalize_cuda(a) == normalize_cuda(b)
+
+    def test_preserves_code_differences(self):
+        assert normalize_cuda("int x = 1;") != normalize_cuda("int x = 2;")
+
+
+class TestSyntaxCheck:
+    def test_unbalanced_brace_detected(self):
+        problems = check_cu_syntax("void f() { if (1) { }")
+        assert any("{" in p or "brace" in p for p in problems)
+
+    def test_undeclared_kernel_launch_detected(self):
+        problems = check_cu_syntax(
+            "__global__ void parent() { child<<<1, 1>>>(); }")
+        assert any("child" in p for p in problems)
+
+    def test_brackets_inside_strings_ignored(self):
+        assert check_cu_syntax(
+            '__global__ void k() { printf("}{)("); }') == []
+
+
+# -- fuzzed emission ----------------------------------------------------------
+
+
+@given(minicuda_body())
+@settings(max_examples=25, deadline=None)
+def test_fuzzed_emission_deterministic_and_sane(body):
+    src = make_fuzz_kernel(body)
+    cu = emit_cuda(src, name="fuzz")
+    clear_emit_cache()
+    assert emit_cuda(src, name="fuzz") == cu
+    assert check_cu_syntax(cu) == []
+    assert 'extern "C" void launch_fuzz' in cu

@@ -13,57 +13,19 @@ and scoping bugs in the unparser/codegen.
 """
 
 import numpy as np
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, settings
 
 from repro.frontend.parser import parse
 from repro.frontend.typecheck import check_module
 from repro.frontend.unparser import unparse
 from repro.sim.device import Device
 
-from tests.helpers import minicuda_expr
+from tests.helpers import make_fuzz_kernel as make_kernel, minicuda_body
 
-# -- expression strategy (shared with test_strategies via helpers) ------------
-
-_expr = minicuda_expr(
-    atoms=["n", "t", "acc", "out[t]", "out[n % 8]", "out[0]"])
-
-_conds = st.builds(lambda a, op, b: f"({a} {op} {b})", _expr,
-                   st.sampled_from(["<", ">", "==", "!=", "<=", ">="]), _expr)
-
-# -- statement strategy -------------------------------------------------------
-
-
-def _assign(expr):
-    return st.builds(lambda t, e: f"{t} = {e};",
-                     st.sampled_from(["acc", "out[t]", "out[n % 8]"]), expr)
-
-
-def _ifstmt(stmt):
-    return st.builds(lambda c, s: f"if {c} {{ {s} }}", _conds, stmt)
-
-
-def _forstmt(stmt):
-    return st.builds(
-        lambda k, s: f"for (int i{k} = 0; i{k} < {k + 1}; i{k}++) {{ {s} }}",
-        st.integers(0, 3), stmt,
-    )
-
-
-_stmt = st.recursive(_assign(_expr), lambda s: st.one_of(_ifstmt(s), _forstmt(s)),
-                     max_leaves=4)
-
-_body = st.lists(_stmt, min_size=1, max_size=5).map(" ".join)
-
-
-def make_kernel(body: str) -> str:
-    return (
-        "__global__ void fuzz(int* out, int n) {\n"
-        "    int t = threadIdx.x;\n"
-        "    int acc = 0;\n"
-        f"    {body}\n"
-        "    out[(t + 1) % 8] = acc;\n"
-        "}\n"
-    )
+# program strategy shared with test_backends via helpers: the statement/
+# body generators were hoisted into tests.helpers.minicuda_body so the
+# backend differential harness fuzzes the same space
+_body = minicuda_body()
 
 
 @given(_body)

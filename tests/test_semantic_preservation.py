@@ -13,16 +13,9 @@ import numpy as np
 from repro.compiler import consolidate_source
 from repro.sim.device import Device
 
+from tests.helpers import run_source
+
 GRANULARITIES = ("warp", "block", "grid")
-
-
-def run_source(src, kernel, grid, block, arrays, scalars):
-    dev = Device()
-    prog = dev.load(src)
-    handles = [dev.from_numpy(name, arr.copy()) for name, arr in arrays]
-    prog.launch(kernel, grid, block, *handles, *scalars)
-    dev.synchronize()
-    return [h.to_numpy() for h in handles]
 
 
 def assert_equivalent(src, kernel, grid, block, arrays, scalars=()):
