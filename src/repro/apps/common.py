@@ -100,6 +100,8 @@ class AppRun:
     strategy: Optional[str] = None
     #: execution backend the run used; None = the default simulator
     backend: Optional[str] = None
+    #: exact oracle (engine selection) the run used; None = the default
+    oracle: Optional[str] = None
 
 
 class App(abc.ABC):
@@ -206,25 +208,73 @@ class App(abc.ABC):
 
     # -- measured execution ------------------------------------------------------
 
-    def run(self, variant: str, dataset=None, *, scale: float = 1.0,
+    def run(self, variant, dataset=None, *, scale: float = 1.0,
             allocator: str = "custom", config: Optional[LaunchConfig] = None,
             spec: DeviceSpec = K20C, cost: CostModel = DEFAULT_COST_MODEL,
             heap_bytes: Optional[int] = None, verify: bool = True,
             threshold: Optional[int] = None,
             strategy: Optional[str] = None,
-            backend: Optional[str] = None) -> AppRun:
-        """Execute one variant on a fresh device and profile it.
+            backend: Optional[str] = None,
+            oracle: Optional[str] = None) -> AppRun:
+        """Execute one configuration on a fresh device and profile it.
+
+        The first argument is either a variant name with the per-axis
+        keywords below (the compatibility shim), or a unified
+        :class:`repro.run_config.RunConfig` carrying every axis at once
+        (the preferred spelling; per-axis keywords may not be combined
+        with it).
 
         ``threshold`` overrides the app's work-delegation threshold for
         this run only (the ablation harness sweeps it); ``strategy``
         selects the consolidation strategy for the ``consolidated``
         variant; ``backend`` names a registered execution backend
-        (:mod:`repro.backends`; ``None`` = the simulator). The returned
-        :class:`AppRun` is plain picklable data, so the experiment
-        runner can execute runs in worker processes and persist them in
-        its on-disk result store.
+        (:mod:`repro.backends`; ``None`` = the simulator); ``oracle``
+        names a registered *exact* oracle (:mod:`repro.oracle`) deciding
+        which functional engine runs (``None`` = the default). The
+        returned :class:`AppRun` is plain picklable data, so the
+        experiment runner can execute runs in worker processes and
+        persist them in its on-disk result store.
         """
+        from ..run_config import RunConfig
+
+        if isinstance(variant, RunConfig):
+            cfg = variant
+            clashing = [name for name, value in (
+                ("threshold", threshold), ("strategy", strategy),
+                ("backend", backend), ("oracle", oracle),
+            ) if value is not None]
+            if clashing or allocator != "custom" or config is not None:
+                clashing += ([] if allocator == "custom" else ["allocator"])
+                clashing += ([] if config is None else ["config"])
+                raise ValueError(
+                    "a RunConfig already carries every axis; drop the "
+                    f"per-axis keyword(s) {', '.join(clashing)}")
+            variant, strategy = cfg.variant, cfg.strategy
+            threshold, backend = cfg.threshold, cfg.backend
+            oracle, allocator = cfg.oracle, cfg.allocator
+            if cfg.config is not None:
+                mode, blocks, threads = cfg.config
+                config = LaunchConfig(mode=mode, blocks=blocks,
+                                      threads=threads, spec=spec)
+            if dataset is None and cfg.workload is not None:
+                from ..workloads import materialize_for_app
+
+                dataset = materialize_for_app(self, cfg.workload, scale)
         variant, strategy = canonicalize_variant(variant, strategy)
+        engine = None
+        if oracle is not None:
+            from ..oracle import DEFAULT_ORACLE, get_oracle
+
+            resolved = get_oracle(oracle)
+            if not resolved.exact:
+                raise ValueError(
+                    f"oracle {resolved.name!r} is a learned approximation "
+                    "and cannot execute runs; use it as a tuning "
+                    "prefilter (`repro tune --oracle surrogate`)")
+            engine = resolved.engine
+            # record the canonical spelling (the default folds onto None)
+            oracle = (None if resolved.name == DEFAULT_ORACLE
+                      else resolved.name)
         if dataset is None:
             dataset = self.default_dataset(scale)
         original_threshold = self.threshold
@@ -235,6 +285,8 @@ class App(abc.ABC):
                                                  spec=spec, strategy=strategy)
             if backend is None:
                 kwargs = {} if heap_bytes is None else {"heap_bytes": heap_bytes}
+                if engine is not None:
+                    kwargs["engine"] = engine
                 device = Device(spec=spec, cost=cost, allocator=allocator,
                                 **kwargs)
             else:
@@ -242,7 +294,7 @@ class App(abc.ABC):
 
                 device = get_backend(backend).make_device(
                     spec=spec, cost=cost, allocator=allocator,
-                    heap_bytes=heap_bytes)
+                    heap_bytes=heap_bytes, engine=engine)
             program = device.load(source)
             result = self.host_run(device, program, dataset, variant)
             metrics = device.synchronize()
@@ -260,7 +312,7 @@ class App(abc.ABC):
             app=self.key, variant=variant,
             dataset=getattr(dataset, "name", str(dataset)),
             metrics=metrics, result=result, report=report, checked=checked,
-            strategy=strategy, backend=backend,
+            strategy=strategy, backend=backend, oracle=oracle,
         )
 
 

@@ -49,12 +49,18 @@ class Backend(abc.ABC):
     def make_device(self, spec: DeviceSpec = K20C,
                     cost: CostModel = DEFAULT_COST_MODEL,
                     allocator: str = "custom",
-                    heap_bytes: Optional[int] = None):
+                    heap_bytes: Optional[int] = None,
+                    engine: Optional[str] = None):
         """Build a fresh device with the Device facade.
 
         ``cost`` and ``allocator`` configure the timing/allocation models
         where the backend has them (the simulator); purely functional
         backends accept and ignore them so RunSpecs stay portable.
+        ``engine`` selects a functional-engine implementation where the
+        backend offers several (:data:`repro.sim.device.ENGINES`, chosen
+        by the run's exact oracle); backends with a single execution
+        strategy must reject a non-None engine rather than silently run
+        something else.
         """
         raise BackendError(
             f"backend {self.name!r} does not execute programs"

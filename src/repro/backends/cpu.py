@@ -61,7 +61,7 @@ from ..sim.events import (
 from ..sim.profiler import RunMetrics
 from ..sim.specs import CostModel, DEFAULT_COST_MODEL, DeviceSpec, K20C
 
-from .base import Backend
+from .base import Backend, BackendError
 
 # thread states (same lattice as the engine)
 _RUNNING = 0
@@ -1310,6 +1310,12 @@ class CpuBackend(Backend):
     def make_device(self, spec: DeviceSpec = K20C,
                     cost: CostModel = DEFAULT_COST_MODEL,
                     allocator: str = "custom",
-                    heap_bytes: Optional[int] = None) -> CpuDevice:
+                    heap_bytes: Optional[int] = None,
+                    engine: Optional[str] = None) -> CpuDevice:
+        if engine is not None:
+            raise BackendError(
+                "the cpu backend has a single execution strategy; "
+                f"engine {engine!r} (oracle selection) only applies to "
+                "the simulator backend")
         return CpuDevice(spec=spec, cost=cost, allocator=allocator,
                          heap_bytes=heap_bytes)

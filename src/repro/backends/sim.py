@@ -26,8 +26,11 @@ class SimBackend(Backend):
     def make_device(self, spec: DeviceSpec = K20C,
                     cost: CostModel = DEFAULT_COST_MODEL,
                     allocator: str = "custom",
-                    heap_bytes: Optional[int] = None) -> Device:
+                    heap_bytes: Optional[int] = None,
+                    engine: Optional[str] = None) -> Device:
         kwargs = {}
         if heap_bytes is not None:
             kwargs["heap_bytes"] = heap_bytes
+        if engine is not None:
+            kwargs["engine"] = engine
         return Device(spec=spec, cost=cost, allocator=allocator, **kwargs)

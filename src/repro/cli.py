@@ -160,6 +160,14 @@ def main(argv=None) -> int:
                    choices=list(available_backends()),
                    help="execution backend (default: sim, the simulator; "
                         "'cpu' cross-checks on the NumPy interpreter)")
+    from .oracle import available_oracles, get_oracle
+
+    p.add_argument("--oracle", default=None,
+                   choices=[n for n in available_oracles()
+                            if get_oracle(n).exact],
+                   help="exact oracle deciding the sim engine (default: "
+                        "sim, the vectorized engine; 'sim-scalar' runs "
+                        "the scalar reference engine)")
     _add_scale(p)
     _add_cache(p)
 
@@ -197,6 +205,12 @@ def main(argv=None) -> int:
                         "of local runners")
     p.add_argument("--tcp", default=None, metavar="HOST:PORT",
                    help="like --socket, over TCP")
+    p.add_argument("--oracle", default=None,
+                   choices=list(available_oracles()),
+                   help="candidate-scoring oracle (default: sim, the "
+                        "simulator; 'surrogate' predicts the cheap rungs "
+                        "from logged runs and simulates only the final "
+                        "rung)")
     _add_exec(p)
 
     p = sub.add_parser(
@@ -299,6 +313,12 @@ def main(argv=None) -> int:
         print("backends (repro run/compile --backend):")
         for name in _backends():
             print(f"  {name:10s} {_get_backend(name).summary}")
+        from .oracle import available_oracles as _oracles
+        from .oracle import get_oracle as _get_oracle
+
+        print("oracles (repro run/tune --oracle):")
+        for name in _oracles():
+            print(f"  {name:10s} {_get_oracle(name).summary}")
         from .workloads import available_workloads, get_workload
 
         print("workloads (repro run --workload; `repro workloads list` "
@@ -416,7 +436,7 @@ def main(argv=None) -> int:
         spec = RunSpec(app=args.app, variant=args.variant,
                        allocator=args.allocator, threshold=args.threshold,
                        strategy=args.strategy, workload=args.workload,
-                       backend=args.backend)
+                       backend=args.backend, oracle=args.oracle)
         t0 = time.time()
         try:
             if args.variant == "tuned":
@@ -442,6 +462,8 @@ def main(argv=None) -> int:
             f"{run.variant}:{run.strategy}"
         if run.backend is not None:
             label += f"@{run.backend}"
+        if getattr(run, "oracle", None) is not None:
+            label += f"+{run.oracle}"
         print(f"{app.label} [{label}] on {run.dataset} "
               f"(verified={run.checked}, wall={wall:.1f}s)")
         if run.report is not None:
@@ -478,7 +500,7 @@ def main(argv=None) -> int:
                       registry=registry, jobs=args.jobs,
                       verify=not args.no_verify,
                       dataset_cache=_make_dataset_cache(args),
-                      service=service)
+                      service=service, oracle=args.oracle)
         t0 = time.time()
         try:
             result = tuner.tune(args.app, objective=args.objective,

@@ -1,12 +1,13 @@
 """Dataset containers and deterministic synthetic generators (DESIGN.md §2
 documents the substitutions for the paper's DIMACS/tree datasets).
 
-The generators are registered as *named workloads* in
-:mod:`repro.workloads`; ``uniform_random`` and the tree generators
-re-exported here are deprecated shims onto that registry (the CSR/tree
-containers and ``citeseer_like``/``kron_like`` remain canonical here).
+The CSR/tree containers and ``citeseer_like``/``kron_like`` are canonical
+here; every other generator lives in the workload registry
+(:mod:`repro.workloads.generators`). The PR-2/PR-4 deprecated shims
+(``uniform_random``, the ``treegen`` module) have been removed per the
+deprecation policy (repro.errors.DeprecationPolicy, DESIGN.md §15) —
+import the registry spellings instead.
 """
 
-from .graphgen import citeseer_like, kron_like, uniform_random  # noqa: F401
+from .graphgen import citeseer_like, kron_like  # noqa: F401
 from .structures import Graph, Tree  # noqa: F401
-from .treegen import tree_dataset1, tree_dataset2  # noqa: F401

@@ -138,22 +138,6 @@ def kron_like(scale: float = 1.0, seed: int = 2) -> Graph:
     return g
 
 
-def uniform_random(n: int, avg_degree: int, seed: int = 3,
-                   name: str = "uniform") -> Graph:
-    """Low-skew control graph (used by tests and ablations).
-
-    .. deprecated::
-        Folded into the workload registry as the ``uniform`` workload;
-        call :func:`repro.workloads.generators.uniform_graph` (or
-        ``materialize("uniform", scale)``) instead. This shim delegates
-        (same arrays, same name) and will be removed.
-    """
-    import warnings
-
-    warnings.warn(
-        "graphgen.uniform_random is deprecated; use the 'uniform' "
-        "workload (repro.workloads.generators.uniform_graph)",
-        DeprecationWarning, stacklevel=2)
-    from ..workloads.generators import uniform_graph
-
-    return uniform_graph(n=n, avg_degree=avg_degree, seed=seed, name=name)
+#: ``uniform_random`` lived here through PR 4 as a deprecated shim onto
+#: :func:`repro.workloads.generators.uniform_graph`; removed per the
+#: deprecation policy (repro.errors.DeprecationPolicy, DESIGN.md §15).

@@ -14,6 +14,17 @@ class ReproError(Exception):
     """Base class for all errors raised by this package."""
 
 
+#: The package's deprecation cadence (DESIGN.md §15): when an API moves
+#: to a canonical home, the old spelling survives for **two PRs** as a
+#: shim that emits :class:`DeprecationWarning` and delegates verbatim,
+#: then is removed outright — the removal site keeps a one-line comment
+#: pointing here. Shims never change behaviour (identical RunSpecs,
+#: identical cache keys), so retiring one invalidates nothing on disk.
+DeprecationPolicy = (
+    "deprecated APIs warn for two PRs, then are removed; see DESIGN.md §15"
+)
+
+
 class SourceError(ReproError):
     """An error tied to a location in MiniCUDA source code."""
 

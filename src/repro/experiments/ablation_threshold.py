@@ -73,28 +73,10 @@ def compute(runner: Optional[ExperimentRunner] = None,
     return table
 
 
-def best_threshold(runner: Optional[ExperimentRunner] = None,
-                   scale: float = DEFAULT_SWEEP_SCALE,
-                   variant: str = "grid-level") -> int:
-    """Threshold with the lowest simulated cycles.
-
-    .. deprecated::
-        Folded into the tuner as a 1-D grid search over the threshold
-        axis; call :func:`repro.tuning.best_threshold` instead. This
-        shim delegates (same runs, same cache entries, same answer) and
-        will be removed.
-    """
-    import warnings
-
-    warnings.warn(
-        "ablation_threshold.best_threshold is deprecated; use "
-        "repro.tuning.best_threshold (1-D grid search over the "
-        "threshold axis of the tuning space)",
-        DeprecationWarning, stacklevel=2)
-    from ..tuning import best_threshold as tuned_best
-
-    return tuned_best(APP, variant=variant, thresholds=THRESHOLDS,
-                      runner=_sweep_runner(runner, scale))
+#: ``best_threshold`` lived here through PR 3 as a deprecated shim onto
+#: :func:`repro.tuning.best_threshold`; removed per the deprecation
+#: policy (repro.errors.DeprecationPolicy, DESIGN.md §15) — the tuner
+#: spelling issues the identical RunSpecs, so cache entries carry over.
 
 
 def main(scale: float = DEFAULT_SWEEP_SCALE) -> str:

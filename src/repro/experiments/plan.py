@@ -51,6 +51,12 @@ class RunSpec:
     the runner folds an explicit ``'sim'`` onto ``None`` the same way
     the workload axis folds defaults, so pre-backend cache keys are
     preserved byte-for-byte.
+
+    ``oracle`` names a registered *exact* oracle (:mod:`repro.oracle`)
+    deciding which functional-engine implementation answers the run;
+    ``None`` means the default (``'sim'``, the vectorized engine), which
+    an explicit ``'sim'`` folds onto. Learned oracles are tuning
+    prefilters, not executable runs, and are rejected at resolve time.
     """
 
     app: str
@@ -63,6 +69,20 @@ class RunSpec:
     strategy: Optional[str] = None
     workload: Optional[str] = None
     backend: Optional[str] = None
+    oracle: Optional[str] = None
+
+    @classmethod
+    def from_config(cls, app: str, config: "object",
+                    dataset: Optional[str] = None,
+                    cost: Optional[CostModel] = None) -> "RunSpec":
+        """Lift a :class:`repro.run_config.RunConfig` onto a spec for
+        one app (the unified entry point the runner/service/CLI share)."""
+        return cls(app=app, variant=config.variant,
+                   allocator=config.allocator, config=config.config,
+                   dataset=dataset, cost=cost,
+                   threshold=config.threshold, strategy=config.strategy,
+                   workload=config.workload, backend=config.backend,
+                   oracle=config.oracle)
 
     @staticmethod
     def config_key(config: Optional[LaunchConfig]) -> Optional[tuple]:

@@ -77,6 +77,7 @@ def _execute(spec: RunSpec, dataset, device_spec: DeviceSpec,
         threshold=spec.threshold,
         strategy=spec.strategy,
         backend=spec.backend,
+        oracle=spec.oracle,
     )
 
 
@@ -138,11 +139,24 @@ class ExperimentRunner:
     tuned: Optional[object] = None
     #: which tuned objective the ``'tuned'`` variant resolves against
     tuned_objective: str = "cycles"
+    #: surrogate training log (:class:`repro.oracle.TrainingLog`): every
+    #: executed default-backend run appends one (axes -> metrics) row.
+    #: ``None`` auto-derives the conventional log beside ``store`` when
+    #: one is attached; pass ``False`` to disable logging entirely
+    training_log: Optional[object] = None
     stats: RunStats = field(default_factory=RunStats, repr=False)
     _cache: dict = field(default_factory=dict, repr=False)
     #: optional named datasets (e.g. Fig. 6's tree dataset1/dataset2)
     _datasets: dict = field(default_factory=dict, repr=False)
     _fingerprints: dict = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.training_log is None and self.store is not None:
+            from ..oracle import TrainingLog
+
+            self.training_log = TrainingLog.for_store(self.store)
+        elif self.training_log is False:
+            self.training_log = None
 
     # -- datasets -------------------------------------------------------------
 
@@ -258,6 +272,9 @@ class ExperimentRunner:
         backend = self._canonical_backend(spec.backend)
         if backend != spec.backend:
             spec = replace(spec, backend=backend)
+        oracle = self._canonical_oracle(spec.oracle)
+        if oracle != spec.oracle:
+            spec = replace(spec, oracle=oracle)
         if spec.variant == TUNED:
             spec = self._resolve_tuned(spec)
         variant, strategy = canonicalize_variant(spec.variant, spec.strategy)
@@ -288,6 +305,17 @@ class ExperimentRunner:
             return None
         return resolved.name
 
+    @staticmethod
+    def _canonical_oracle(oracle: Optional[str]) -> Optional[str]:
+        """Canonicalize an oracle name: the default folds onto None (so
+        the axis never forks pre-existing cache entries), other names
+        are validated against the registry and must be exact — learned
+        oracles approximate metrics and cannot *be* a run. Shared with
+        :class:`repro.run_config.RunConfig` so both spellings agree."""
+        from ..run_config import _canonical_oracle
+
+        return _canonical_oracle(oracle)
+
     def _content_key(self, resolved: RunSpec) -> str:
         from .. import __version__
 
@@ -306,6 +334,7 @@ class ExperimentRunner:
             strategy=resolved.strategy,
             workload=resolved.workload,
             backend=resolved.backend,
+            oracle=resolved.oracle,
         )
 
     # -- execution ------------------------------------------------------------
@@ -316,6 +345,18 @@ class ExperimentRunner:
         self._cache[resolved] = run
         if self.store is not None:
             self.store.put(self._content_key(resolved), run)
+        if (self.training_log is not None and resolved.backend is None
+                and resolved.dataset is None):
+            # surrogate training pair: only simulator runs on registry
+            # workloads are reproducible training contexts (explicitly
+            # registered datasets have no stable reference to featurize)
+            self.training_log.record(
+                app=resolved.app, workload=resolved.workload,
+                device=self.spec.name, cost=resolved.cost,
+                scale=self.scale, verify=self.verify,
+                variant=resolved.variant, strategy=resolved.strategy,
+                threshold=resolved.threshold, config=resolved.config,
+                metrics=run.metrics)
 
     def _lookup(self, resolved: RunSpec) -> Optional[AppRun]:
         """Memory first, then the on-disk store (promoting hits)."""
@@ -374,13 +415,24 @@ class ExperimentRunner:
             threshold: Optional[int] = None,
             strategy: Optional[str] = None,
             workload: Optional[str] = None,
-            backend: Optional[str] = None) -> AppRun:
+            backend: Optional[str] = None,
+            oracle: Optional[str] = None) -> AppRun:
         return self.run_spec(RunSpec(
             app=app_key, variant=variant, allocator=allocator,
             config=RunSpec.config_key(config), dataset=dataset_name,
             cost=cost, threshold=threshold, strategy=strategy,
-            workload=workload, backend=backend,
+            workload=workload, backend=backend, oracle=oracle,
         ))
+
+    def run_config(self, app_key: str, config,
+                   dataset_name: Optional[str] = None,
+                   cost: Optional[CostModel] = None) -> AppRun:
+        """Execute (or recall) one app under a unified
+        :class:`repro.run_config.RunConfig` — the preferred entry point;
+        :meth:`run`'s keyword spelling remains as the compatibility
+        shim."""
+        return self.run_spec(RunSpec.from_config(
+            app_key, config, dataset=dataset_name, cost=cost))
 
     def prefetch(self, specs: Iterable[RunSpec],
                  jobs: Optional[int] = None,

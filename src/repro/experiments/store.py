@@ -106,7 +106,8 @@ def run_key(*, app: str, variant: str, allocator: str,
             cost, spec, threshold: int, verify: bool,
             version: str, strategy: Optional[str] = None,
             workload: Optional[str] = None,
-            backend: Optional[str] = None) -> str:
+            backend: Optional[str] = None,
+            oracle: Optional[str] = None) -> str:
     """Stable content address for one application run.
 
     ``strategy`` is the consolidation-strategy axis; it is ``None`` for
@@ -127,6 +128,13 @@ def run_key(*, app: str, variant: str, allocator: str,
     pre-backend key is byte-identical and only genuinely different
     execution targets (e.g. ``'cpu'``) get distinct addresses
     (DESIGN.md §14).
+
+    ``oracle`` does too: the default (vectorized) engine keys as None,
+    and only an explicitly non-default exact oracle (``'sim-scalar'``)
+    enters the payload. The engines produce bitwise-identical metrics,
+    so distinct addresses are pure provenance — they record *which
+    implementation* produced an entry — at the cost of one redundant
+    simulation per differential pairing (DESIGN.md §15).
     """
     payload = {
         "format": STORE_FORMAT,
@@ -146,6 +154,8 @@ def run_key(*, app: str, variant: str, allocator: str,
         payload["workload"] = workload
     if backend is not None:
         payload["backend"] = backend
+    if oracle is not None:
+        payload["oracle"] = oracle
     blob = json.dumps(payload, sort_keys=True, default=str)
     return hashlib.sha256(blob.encode()).hexdigest()
 

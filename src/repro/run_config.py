@@ -1,0 +1,121 @@
+"""The unified run configuration — one value for every run axis.
+
+The repo grew one axis per PR (variant, then strategy, then threshold,
+then workload, then backend, now oracle), each threaded as its own
+keyword through ``App.run``, :class:`~repro.experiments.plan.RunSpec`,
+the experiment runner, the service wire format, and the CLI.
+:class:`RunConfig` collapses them into one frozen, canonicalizing
+value::
+
+    cfg = RunConfig(variant="consolidated", strategy="warp", threshold=16)
+    app.run(cfg, dataset=ds)                      # App entry point
+    runner.run_config("sssp", cfg)                # cached runner entry
+    RunSpec.from_config("sssp", cfg)              # plan/service entry
+
+Canonicalization happens at construction, so two configs describing the
+same run compare (and hash) equal: redundant (variant, strategy)
+spellings collapse (``('consolidated', 'warp')`` == ``('warp-level',
+None)``), the default backend and oracle fold onto ``None``, and a live
+:class:`~repro.sim.occupancy.LaunchConfig` folds to its hashable triple.
+The legacy per-axis keywords on ``App.run`` / ``ExperimentRunner.run``
+remain as compatibility shims and lower onto the same code paths, so
+every pre-existing cache key is preserved byte-for-byte (the
+frozen-payload regression test in ``tests/test_run_config.py`` holds the
+key function to it).
+
+Workload references are deliberately *not* folded here: collapsing an
+app's default workload onto ``None`` needs the app, which a RunConfig
+does not name — the runner and ``App.run`` apply
+:func:`repro.workloads.canonical_for_app` exactly as before.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Optional
+
+from .apps.common import BASIC, canonicalize_variant
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Every axis of one application run, as canonical hashable data.
+
+    ``config`` is the ``(mode, blocks, threads)`` launch-config triple
+    (a live :class:`~repro.sim.occupancy.LaunchConfig` is accepted and
+    folded); ``threshold=None`` means the app default, ``workload=None``
+    the app's default dataset, ``backend``/``oracle`` ``None`` the
+    default simulator on the default engine.
+    """
+
+    variant: str = BASIC
+    strategy: Optional[str] = None
+    threshold: Optional[int] = None
+    workload: Optional[str] = None
+    backend: Optional[str] = None
+    oracle: Optional[str] = None
+    allocator: str = "custom"
+    config: Optional[tuple] = None
+
+    def __post_init__(self) -> None:
+        variant, strategy = canonicalize_variant(self.variant, self.strategy)
+        object.__setattr__(self, "variant", variant)
+        object.__setattr__(self, "strategy", strategy)
+        object.__setattr__(self, "backend",
+                           _canonical_backend(self.backend))
+        object.__setattr__(self, "oracle", _canonical_oracle(self.oracle))
+        config = self.config
+        if config is not None and not isinstance(config, tuple):
+            from .experiments.plan import RunSpec
+
+            config = RunSpec.config_key(config)
+        object.__setattr__(self, "config", config)
+        if self.threshold is not None:
+            object.__setattr__(self, "threshold", int(self.threshold))
+
+    def describe(self) -> str:
+        """Compact one-line spelling (CLI/report output)."""
+        parts = [self.variant]
+        for name in ("strategy", "threshold", "workload", "backend",
+                     "oracle"):
+            value = getattr(self, name)
+            if value is not None:
+                parts.append(f"{name}={value}")
+        if self.allocator != "custom":
+            parts.append(f"allocator={self.allocator}")
+        if self.config is not None:
+            parts.append(f"config={self.config}")
+        return " ".join(parts)
+
+    def axes(self) -> dict:
+        """The axes as a plain dict (wire formats, logging)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+def _canonical_backend(backend: Optional[str]) -> Optional[str]:
+    """Validate and default-fold a backend name (must execute)."""
+    if backend is None:
+        return None
+    from .backends import DEFAULT_BACKEND, get_backend
+
+    resolved = get_backend(backend)
+    if not resolved.executes:
+        raise ValueError(
+            f"backend {resolved.name!r} does not execute programs; "
+            "use `repro compile --backend` for emit-only backends")
+    return None if resolved.name == DEFAULT_BACKEND else resolved.name
+
+
+def _canonical_oracle(oracle: Optional[str]) -> Optional[str]:
+    """Validate and default-fold an oracle name (must be exact)."""
+    if oracle is None:
+        return None
+    from .oracle import DEFAULT_ORACLE, get_oracle
+
+    resolved = get_oracle(oracle)
+    if not resolved.exact:
+        raise ValueError(
+            f"oracle {resolved.name!r} is a learned approximation and "
+            "cannot execute runs; use it as a tuning prefilter "
+            "(`repro tune --oracle surrogate`)")
+    return None if resolved.name == DEFAULT_ORACLE else resolved.name

@@ -197,6 +197,15 @@ class ServiceClient:
         return self.submit_spec(RunSpec(app=app, variant=variant, **axes),
                                 scale=scale)
 
+    def submit_config(self, app: str, config,
+                      scale: Optional[float] = None) -> SubmitResult:
+        """Submit one app under a unified
+        :class:`repro.run_config.RunConfig` (the preferred spelling)."""
+        from ..experiments.plan import RunSpec
+
+        return self.submit_spec(RunSpec.from_config(app, config),
+                                scale=scale)
+
     def submit_many(self, specs: Iterable,
                     scale: Optional[float] = None) -> list[SubmitResult]:
         """Pipeline a batch of specs; results come back in spec order.

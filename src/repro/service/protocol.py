@@ -117,7 +117,7 @@ def error(rid, message: str) -> dict:
 #: RunSpec fields a submit may carry (everything else is rejected, so a
 #: typo'd axis fails loudly instead of silently running the default)
 _SPEC_FIELDS = ("app", "variant", "allocator", "config", "dataset",
-                "cost", "threshold", "strategy", "workload")
+                "cost", "threshold", "strategy", "workload", "oracle")
 
 
 def spec_to_wire(spec) -> dict:
@@ -138,6 +138,8 @@ def spec_to_wire(spec) -> dict:
         out["strategy"] = spec.strategy
     if spec.workload is not None:
         out["workload"] = spec.workload
+    if spec.oracle is not None:
+        out["oracle"] = spec.oracle
     return out
 
 
@@ -167,7 +169,7 @@ def spec_from_wire(d: dict):
     threshold = d.get("threshold")
     if threshold is not None and not isinstance(threshold, int):
         raise ProtocolError("spec.threshold must be an integer")
-    for field in ("allocator", "dataset", "strategy", "workload"):
+    for field in ("allocator", "dataset", "strategy", "workload", "oracle"):
         value = d.get(field)
         if value is not None and not isinstance(value, str):
             raise ProtocolError(f"spec.{field} must be a string")
@@ -186,7 +188,7 @@ def spec_from_wire(d: dict):
         allocator=d.get("allocator", "custom"), config=config,
         dataset=d.get("dataset"), cost=cost,
         threshold=threshold, strategy=d.get("strategy"),
-        workload=d.get("workload"),
+        workload=d.get("workload"), oracle=d.get("oracle"),
     )
 
 

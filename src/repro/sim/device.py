@@ -30,6 +30,7 @@ from ..frontend.typecheck import ModuleInfo, check_module
 from .cache import MemorySystem
 from .dp import DPRuntime
 from .engine import FunctionalEngine, KernelInstance
+from .engine_vec import VectorizedEngine
 from .memory import DeviceArray, GlobalMemory
 from .profiler import RunMetrics, collect_metrics
 from .specs import CostModel, DEFAULT_COST_MODEL, DeviceSpec, K20C
@@ -39,6 +40,17 @@ from .timing import DeviceScheduler
 #: paper defaults to 500 MB; we default smaller because scaled datasets
 #: need far less (overridable per Device).
 DEFAULT_HEAP_BYTES = 64 * 1024 * 1024
+
+#: functional-engine implementations, selectable per Device. Both run the
+#: same canonical schedule and produce bitwise-identical metrics (the
+#: differential harness in tests/test_oracle.py holds them to it);
+#: 'scalar' is the reference, 'vectorized' the batched default.
+ENGINES = {
+    "scalar": FunctionalEngine,
+    "vectorized": VectorizedEngine,
+}
+
+DEFAULT_ENGINE = "vectorized"
 
 
 class Program:
@@ -63,7 +75,8 @@ class Device:
     def __init__(self, spec: DeviceSpec = K20C,
                  cost: CostModel = DEFAULT_COST_MODEL,
                  allocator: str = "custom",
-                 heap_bytes: int = DEFAULT_HEAP_BYTES):
+                 heap_bytes: int = DEFAULT_HEAP_BYTES,
+                 engine: Optional[str] = None):
         self.spec = spec
         self.cost = cost
         # keep the numpy-visible memory bounded: the address space is the
@@ -77,10 +90,18 @@ class Device:
                                         heap_bytes, cost)
         self.dp = DPRuntime(spec, cost, self.memory, self.memsys, self.allocator)
         self.kernels: dict[str, object] = {}
-        self.engine = FunctionalEngine(
+        self.engine_name = engine if engine is not None else DEFAULT_ENGINE
+        engine_cls = ENGINES.get(self.engine_name)
+        if engine_cls is None:
+            raise SimulationError(
+                f"unknown sim engine {engine!r}; "
+                f"available: {', '.join(sorted(ENGINES))}")
+        extra = {"dp": self.dp} if engine_cls is VectorizedEngine else {}
+        self.engine = engine_cls(
             spec, cost, self.memsys, self.kernels,
             intrinsic_handler=self.dp.handle_intrinsic,
             on_launch=self._on_device_launch,
+            **extra,
         )
         self._uid = 0
         self._roots: list[KernelInstance] = []

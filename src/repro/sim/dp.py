@@ -29,6 +29,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from ..errors import SimulationError
 from .memory import DeviceArray, GlobalMemory
 
@@ -172,6 +174,107 @@ class DPRuntime:
         segments = set(range(addr0 // seg_bytes, addr1 // seg_bytes + 1))
         cycles += self.memsys.access_segments(segments)
         return slot, cycles
+
+    # ------------------------------------------------- batched entry points
+    #
+    # Used by the vectorized engine for uniform warp rounds (every live
+    # lane pushing into / reading from one buffer). Each returns
+    # ``(values, total_cycles)`` with state, stats and per-operation L2
+    # pricing identical to the equivalent sequence of scalar calls, or
+    # ``None`` when an edge case (grow, bounds violation, field-count
+    # mismatch, integer overflow) should take the scalar path instead —
+    # keeping error semantics and the grow/realloc accounting in exactly
+    # one place.
+
+    def push_many(self, handle: int, rows: list):
+        """Batched :meth:`push`: one store + one stats update for the
+        whole round, per-push L2 pricing preserved in order."""
+        buf = self.buffers.get(int(handle))
+        if buf is None:
+            return None
+        nvars = buf.nvars
+        for row in rows:
+            if len(row) != nvars:
+                return None
+        k = len(rows)
+        slot0 = buf.count
+        if slot0 + k > buf.capacity:
+            return None  # growing mid-batch: scalar push handles it
+        try:
+            values = np.asarray([int(v) for row in rows for v in row],
+                                dtype=buf.storage.data.dtype)
+        except (OverflowError, ValueError, TypeError):
+            return None
+        base0 = slot0 * nvars
+        buf.storage.data[base0: base0 + k * nvars] = values
+        buf.count = slot0 + k
+        self.stats.pushes += k
+        scope = GRAN_NAMES[buf.gran]
+        self.stats.pushes_by_scope[scope] = \
+            self.stats.pushes_by_scope.get(scope, 0) + k
+        per_push = (self.cost.atomic_cycles * self._push_conflict(buf.gran)
+                    + self.cost.buffer_push_cycles)
+        seg_bytes = self.spec.dram_segment_bytes
+        row_bytes = nvars * _ITEM_BYTES
+        addr0 = buf.storage.addr_of(base0) + np.arange(k) * row_bytes
+        seg_lo = addr0 // seg_bytes
+        seg_hi = (addr0 + row_bytes - 1) // seg_bytes
+        total = k * per_push
+        probe = self.memsys.l2.probe
+        counters = self.memsys.counters
+        hit_cycles = self.cost.l2_hit_cycles
+        miss_cycles = self.cost.dram_transaction_cycles
+        # same per-segment probes, counters and L2 state as one
+        # access_segments({seg}) call per push, minus the call overhead
+        for lo, hi in zip(seg_lo.tolist(), seg_hi.tolist()):
+            for seg in range(lo, hi + 1):
+                if probe(seg):
+                    counters.l2_hits += 1
+                    total += hit_cycles
+                else:
+                    counters.l2_misses += 1
+                    counters.dram_transactions += 1
+                    total += miss_cycles
+        return list(range(slot0, slot0 + k)), total
+
+    def get_many(self, handle: int, slots: list, flds: list):
+        """Batched :meth:`get`: one gather, per-read L2 pricing in order."""
+        buf = self.buffers.get(int(handle))
+        if buf is None:
+            return None
+        try:
+            pos = (np.asarray(slots, dtype=np.int64) * buf.nvars
+                   + np.asarray(flds, dtype=np.int64))
+            slot_arr = np.asarray(slots, dtype=np.int64)
+        except (OverflowError, ValueError, TypeError):
+            return None
+        if len(slots) and (int(slot_arr.min()) < 0
+                           or int(slot_arr.max()) >= buf.count):
+            return None  # scalar get raises the bounds error
+        values = buf.storage.data[pos].tolist()
+        seg_bytes = self.spec.dram_segment_bytes
+        segs = (buf.storage.base_addr + pos * _ITEM_BYTES) // seg_bytes
+        total = 0
+        probe = self.memsys.l2.probe
+        counters = self.memsys.counters
+        hit_cycles = self.cost.l2_hit_cycles
+        miss_cycles = self.cost.dram_transaction_cycles
+        for seg in segs.tolist():
+            if probe(seg):
+                counters.l2_hits += 1
+                total += hit_cycles
+            else:
+                counters.l2_misses += 1
+                counters.dram_transactions += 1
+                total += miss_cycles
+        return values, total
+
+    def size_many(self, handle: int, k: int):
+        """Batched :meth:`size`: the count is unchanged across the round."""
+        buf = self.buffers.get(int(handle))
+        if buf is None:
+            return None
+        return [buf.count] * k, k * self.cost.l2_hit_cycles
 
     def _grow(self, buf: ConsolidationBuffer) -> int:
         """Double the buffer capacity; returns the cycle penalty."""

@@ -1,0 +1,440 @@
+"""Vectorized SIMT engine: batched warp-round bookkeeping.
+
+:class:`VectorizedEngine` executes the *same* canonical schedule as
+:class:`~repro.sim.engine.FunctionalEngine` (blocks sequential, warps to
+their blocking point in index order, lanes in lockstep rounds) but
+replaces the per-lane Python bookkeeping of the hot round loop with
+NumPy array operations, the way PR 4 vectorized ``kron_like``:
+byte-identical outputs, measured speedup (``benchmarks/bench_sim_engine.py``).
+
+Equivalence argument (DESIGN.md §15 carries the long form):
+
+1. **Gather-then-process.** The scalar engine interleaves "advance lane
+   *i* to its next yield" with "apply lane *i*'s event". This engine
+   first advances *every* live lane (gather), then applies the gathered
+   events in lane order. The two are equivalent because kernel code
+   between yields cannot observe event effects: generated kernels touch
+   global arrays, consolidation buffers and launch state **only through
+   yielded events**; the only state they read inline (shared-memory
+   lists, the per-thread cycle accumulator ``ctx.c``) is never written
+   by event processing. Applying events in lane order preserves every
+   same-round cross-lane dependency (a lane-0 store feeding a lane-1
+   load, atomic read-modify-write chains on one address).
+
+2. **Uniform-round fast paths.** Once gathered, a round whose events are
+   all loads from one array (or all stores, or all pushes into one
+   consolidation buffer — the common lockstep case) is processed as one
+   array operation. Batch loads read ``data[idx].tolist()`` — the same
+   Python scalars as per-element ``.item()``; batch stores rely on
+   NumPy's last-write-wins for duplicate fancy indices, which matches
+   lane order; conversion errors (C wraparound) and bounds violations
+   fall back to the sequential path so error semantics stay identical.
+
+3. **Order-preserving coalescing.** ``coalesce_round`` returns a
+   ``set`` whose iteration order feeds the *stateful* LRU L2 — so the
+   batched paths compute first/last segment ids with NumPy but insert
+   them into the set in exactly the scalar access order, making the L2
+   probe sequence (and therefore every later hit/miss) identical.
+
+Rounds that are divergent (mixed opcodes), touch several arrays, or hit
+an edge case (bounds violation, integer overflow, buffer grow) take the
+sequential path, which is a line-for-line copy of the scalar engine's
+event handling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SimulationError
+from .engine import (
+    FunctionalEngine, LaunchRecord, _AT_BARRIER, _AT_WARP_BARRIER, _DONE,
+    _RUNNING, coalesce_round,
+)
+from .events import ATOM, DEVSYNC, INTR, LAUNCH, LD, ST, SYNC, WSYNC
+
+#: below this many events a round is processed sequentially — NumPy
+#: call overhead beats the saving on tiny arrays (purely a performance
+#: cutoff; both paths are exact)
+_MIN_BATCH = 4
+
+#: intrinsic names batched when a round is uniform over one buffer
+_PUSH_NAMES = ("buf_push1", "buf_push2", "buf_push3", "buf_push4")
+
+
+def segment_probe_order(addrs, itemsize, seg_bytes):
+    """The scalar engine's coalesced segment set for one round, from an
+    address array.
+
+    The L2 is a stateful LRU probed in set-iteration order, and a
+    Python set's layout depends on its insertion sequence — so this
+    must insert exactly the ids :func:`coalesce_round` inserts, in
+    first-occurrence order (each access's first segment, then its
+    straddle id). Re-inserting a present element never changes the
+    layout, so deduplicating to first occurrences beforehand (the
+    interleave + stable-unique below) builds the identical set without
+    the scalar per-access loop. Shared by the engine's batched round
+    paths and the engine bench's slice replay.
+    """
+    firsts = addrs // seg_bytes
+    lasts = (addrs + (itemsize - 1)) // seg_bytes
+    if firsts.shape[0] <= 64:
+        # warp-sized rounds: the plain loop beats unique's sort setup
+        # (purely a performance cutoff; both branches build the same set)
+        segments: set[int] = set()
+        add = segments.add
+        for f, last in zip(firsts.tolist(), lasts.tolist()):
+            add(f)
+            if last != f:
+                add(last)
+        return segments
+    interleaved = np.empty(2 * firsts.shape[0], dtype=np.int64)
+    interleaved[0::2] = firsts
+    interleaved[1::2] = lasts
+    _, first_pos = np.unique(interleaved, return_index=True)
+    ordered = interleaved[np.sort(first_pos)]
+    out: set[int] = set()
+    add = out.add
+    for seg in ordered.tolist():
+        add(seg)
+    return out
+
+#: atomic ops batched when a round is uniform, one-array and
+#: duplicate-free (CAS claim chains stay sequential)
+_BATCH_ATOMIC_OPS = frozenset(("add", "sub", "min", "max", "exch",
+                               "or", "and"))
+
+
+class VectorizedEngine(FunctionalEngine):
+    """Drop-in engine with batched round bookkeeping.
+
+    ``dp`` (optional) is the device's :class:`~repro.sim.dp.DPRuntime`;
+    when provided *and* it owns ``intrinsic_handler``, uniform intrinsic
+    rounds (consolidation-buffer pushes/reads/sizes) are batched through
+    :meth:`~repro.sim.dp.DPRuntime.push_many` and friends.
+    """
+
+    def __init__(self, spec, cost, memory_system, kernels, intrinsic_handler,
+                 on_launch, dp=None):
+        super().__init__(spec, cost, memory_system, kernels,
+                         intrinsic_handler, on_launch)
+        # batch intrinsics only when the handler really is this runtime's
+        # (a custom handler could observe per-call ordering we'd elide)
+        self._dp = dp if (
+            dp is not None
+            and getattr(intrinsic_handler, "__self__", None) is dp
+        ) else None
+
+    # ------------------------------------------------------------ round loop
+
+    def _run_warp(self, warp, inst, trace, block_pending) -> str:
+        states = warp.states
+        threads = warp.threads
+        pending = warp.pending
+        ctxs = warp.ctxs
+        mem = self.mem
+        cost = self.cost
+        seg_bytes = self.spec.dram_segment_bytes
+        made_progress = False
+
+        # the live-lane list changes only when a lane's state does (done,
+        # barrier arrival, reconvergence) — keep it across rounds instead
+        # of rescanning states every round like the scalar engine
+        live: list = None
+        while True:
+            if live is None:
+                live = [i for i, st in enumerate(states) if st == _RUNNING]
+            if not live:
+                released = False
+                for i, st in enumerate(states):
+                    if st == _AT_WARP_BARRIER:
+                        states[i] = _RUNNING
+                        released = True
+                if released:
+                    made_progress = True
+                    live = None
+                    continue
+                if any(st == _AT_BARRIER for st in states):
+                    return "barrier" if not made_progress else "progress"
+                return "done"
+
+            # --- gather: advance every live lane to its next event --------
+            lanes: list[int] = []
+            events: list[tuple] = []
+            add_lane = lanes.append
+            add_event = events.append
+            dirty = False
+            op0 = -1  # -1: unset, -2: mixed opcodes
+            for i in live:
+                try:
+                    ev = threads[i].send(pending[i])
+                except StopIteration:
+                    states[i] = _DONE
+                    dirty = True
+                    continue
+                pending[i] = None
+                add_lane(i)
+                add_event(ev)
+                op = ev[0]
+                if op != op0 and op0 != -2:
+                    op0 = op if op0 == -1 else -2
+            active = len(lanes)
+            if active == 0:
+                # all live lanes hit a barrier simultaneously or finished
+                live = None
+                continue
+            made_progress = True
+
+            # --- process: batched when the round is uniform ---------------
+            segments = None
+            atomics: dict[int, int] = {}
+            extra_cycles = 0
+            extra_steps = 0
+            devsync_requested = False
+            processed = False
+            if active >= _MIN_BATCH:
+                if op0 == LD:
+                    segments = self._batch_loads(lanes, events, pending,
+                                                 seg_bytes)
+                    processed = segments is not None
+                elif op0 == ST:
+                    segments = self._batch_stores(events, seg_bytes)
+                    processed = segments is not None
+                elif op0 == INTR and self._dp is not None:
+                    cycles = self._batch_intrinsics(lanes, events, pending)
+                    if cycles is not None:
+                        extra_cycles += cycles
+                        processed = True
+                elif op0 == ATOM:
+                    segments = self._batch_atomics(lanes, events, pending,
+                                                   seg_bytes)
+                    if segments is not None:
+                        # every address distinct: worst conflict degree 1
+                        atomics = {0: 1}
+                        processed = True
+            if not processed:
+                accesses: list[tuple[int, int]] = []
+                for i, ev in zip(lanes, events):
+                    op = ev[0]
+                    if op == LD:
+                        arr = ev[1]
+                        idx = ev[2]
+                        pending[i] = arr.load(idx)
+                        accesses.append((arr.addr_of(idx), arr.itemsize))
+                    elif op == ST:
+                        arr = ev[1]
+                        idx = ev[2]
+                        arr.store(idx, ev[3])
+                        accesses.append((arr.addr_of(idx), arr.itemsize))
+                    elif op == ATOM:
+                        pending[i] = self._do_atomic(ev)
+                        addr = ev[2].addr_of(ev[3])
+                        atomics[addr] = atomics.get(addr, 0) + 1
+                        accesses.append((addr, ev[2].itemsize))
+                    elif op == SYNC:
+                        states[i] = _AT_BARRIER
+                        dirty = True
+                    elif op == WSYNC:
+                        states[i] = _AT_WARP_BARRIER
+                        dirty = True
+                    elif op == LAUNCH:
+                        child = self.on_launch(inst, ev[1], ev[2], ev[3],
+                                               ev[4])
+                        block_pending.append(child)
+                        trace.launches.append(LaunchRecord(
+                            segment=len(trace.segments),
+                            offset_cycles=warp.cycles,
+                            child=child,
+                        ))
+                        extra_cycles += (cost.launch_uops
+                                         * cost.cycles_per_warp_step)
+                        extra_steps += cost.launch_uops
+                    elif op == DEVSYNC:
+                        devsync_requested = True
+                    elif op == INTR:
+                        value, cycles = self.intrinsic_handler(
+                            ev[1], ev[2], inst, ctxs[i])
+                        pending[i] = value
+                        extra_cycles += cycles
+                    else:  # pragma: no cover - defensive
+                        raise SimulationError(f"unknown event opcode {op}")
+                if accesses:
+                    segments = coalesce_round(accesses, seg_bytes)
+
+            # --- price the round ------------------------------------------
+            round_cycles = cost.cycles_per_warp_step
+            if segments:
+                round_cycles += mem.access_segments(segments)
+            if atomics:
+                worst_conflict = max(atomics.values())
+                round_cycles += cost.atomic_cycles * worst_conflict
+            lane_extra = 0
+            for i in live:
+                c = ctxs[i].c
+                if c:
+                    if c > lane_extra:
+                        lane_extra = c
+                    ctxs[i].c = 0
+            warp.cycles += round_cycles + extra_cycles + lane_extra
+            warp.steps += 1 + extra_steps
+            warp.active_steps += active + extra_steps
+            if dirty:
+                live = None
+            if devsync_requested:
+                return "devsync"
+
+    # ------------------------------------------------------------ fast paths
+
+    @staticmethod
+    def _round_indices(events):
+        """(idx array, shared DeviceArray) for a one-array uniform round,
+        else (None, None) — triggering the sequential fallback."""
+        arr = events[0][1]
+        for ev in events:
+            if ev[1] is not arr:
+                return None, None
+        try:
+            idxs = np.fromiter((ev[2] for ev in events), dtype=np.int64,
+                               count=len(events))
+        except (TypeError, ValueError, OverflowError):
+            return None, None
+        return idxs, arr
+
+    @staticmethod
+    def _segment_set(addrs, itemsize, seg_bytes):
+        return segment_probe_order(addrs, itemsize, seg_bytes)
+
+    def _batch_loads(self, lanes, events, pending, seg_bytes):
+        idxs, arr = self._round_indices(events)
+        if idxs is None:
+            return None
+        i_arr = idxs + arr.offset
+        data = arr.data
+        if int(i_arr.min()) < 0 or int(i_arr.max()) >= data.shape[0]:
+            return None  # sequential path raises the scalar error
+        # .tolist() yields the same Python scalars as per-element .item()
+        for i, value in zip(lanes, data[i_arr].tolist()):
+            pending[i] = value
+        return self._segment_set(arr.base_addr + i_arr * arr.itemsize,
+                                 arr.itemsize, seg_bytes)
+
+    def _batch_stores(self, events, seg_bytes):
+        idxs, arr = self._round_indices(events)
+        if idxs is None:
+            return None
+        i_arr = idxs + arr.offset
+        data = arr.data
+        if int(i_arr.min()) < 0 or int(i_arr.max()) >= data.shape[0]:
+            return None
+        try:
+            values = np.asarray([ev[3] for ev in events], dtype=data.dtype)
+        except (OverflowError, ValueError, TypeError):
+            return None  # C-wraparound / odd values: scalar store handles
+        # duplicate indices: NumPy keeps the last write, matching lane order
+        data[i_arr] = values
+        return self._segment_set(arr.base_addr + i_arr * arr.itemsize,
+                                 arr.itemsize, seg_bytes)
+
+    def _batch_atomics(self, lanes, events, pending, seg_bytes):
+        """Batch a uniform atomic round with pairwise-distinct addresses.
+
+        With no two lanes on one address there are no same-round
+        read-modify-write chains, so old values are one gather and new
+        values one array op. Integer ops require Python-int operands
+        (the dtype cast must not change arithmetic) and rely on NumPy's
+        C wraparound matching exact-Python-then-wrap modular arithmetic;
+        float add/sub run in float64 and round once on store, exactly
+        like the scalar ``old + v`` → ``store`` sequence."""
+        op = events[0][1]
+        if op not in _BATCH_ATOMIC_OPS:
+            return None
+        arr = events[0][2]
+        raw_idxs = []
+        for ev in events:
+            if ev[1] != op or ev[2] is not arr:
+                return None
+            raw_idxs.append(ev[3])
+        # cheap pure-Python duplicate check before any NumPy work:
+        # conflicting rounds (CAS claims, shared counters) are common and
+        # must not pay array-construction overhead just to fall back
+        if len(set(raw_idxs)) != len(raw_idxs):
+            return None
+        data = arr.data
+        kind = data.dtype.kind
+        if kind in "iu":
+            for ev in events:
+                if not isinstance(ev[4], int):
+                    return None
+        elif op in ("or", "and"):
+            return None  # bitwise on floats: scalar path raises
+        try:
+            idxs = np.fromiter(raw_idxs, dtype=np.int64, count=len(raw_idxs))
+        except (TypeError, ValueError, OverflowError):
+            return None
+        i_arr = idxs + arr.offset
+        if int(i_arr.min()) < 0 or int(i_arr.max()) >= data.shape[0]:
+            return None
+        try:
+            values = np.asarray([ev[4] for ev in events], dtype=data.dtype)
+        except (OverflowError, ValueError, TypeError):
+            return None
+        old = data[i_arr]
+        for i, value in zip(lanes, old.tolist()):
+            pending[i] = value
+        if op in ("add", "sub") and kind == "f":
+            wide = np.asarray([ev[4] for ev in events], dtype=np.float64)
+            acc = old.astype(np.float64)
+            new = (acc + wide if op == "add" else acc - wide).astype(
+                data.dtype)
+        elif op == "add":
+            new = old + values
+        elif op == "sub":
+            new = old - values
+        elif op == "min":
+            new = np.minimum(old, values)
+        elif op == "max":
+            new = np.maximum(old, values)
+        elif op == "exch":
+            new = values
+        elif op == "or":
+            new = old | values
+        else:  # "and"
+            new = old & values
+        data[i_arr] = new
+        return self._segment_set(arr.base_addr + i_arr * arr.itemsize,
+                                 arr.itemsize, seg_bytes)
+
+    def _batch_intrinsics(self, lanes, events, pending):
+        """Batch a uniform intrinsic round through the DP runtime.
+
+        Returns the summed intrinsic cycles, or None to fall back."""
+        name = events[0][1]
+        if name in _PUSH_NAMES:
+            arity = int(name[-1]) + 1
+        elif name == "buf_get":
+            arity = 3
+        elif name == "buf_size":
+            arity = 1
+        else:
+            return None
+        for ev in events:
+            if ev[1] != name or len(ev[2]) != arity:
+                return None
+        handle = events[0][2][0]
+        for ev in events:
+            if ev[2][0] != handle:
+                return None
+        dp = self._dp
+        if name in _PUSH_NAMES:
+            out = dp.push_many(handle, [ev[2][1:] for ev in events])
+        elif name == "buf_get":
+            out = dp.get_many(handle, [ev[2][1] for ev in events],
+                              [ev[2][2] for ev in events])
+        else:
+            out = dp.size_many(handle, len(events))
+        if out is None:
+            return None
+        values, cycles = out
+        for i, value in zip(lanes, values):
+            pending[i] = value
+        return cycles

@@ -60,12 +60,21 @@ class SimulationOracle:
                  cost: Optional[CostModel] = None,
                  store=None, jobs: int = 1, verify: bool = True,
                  runner: Optional[ExperimentRunner] = None,
-                 workload=None, dataset_cache=None, client=None):
+                 workload=None, dataset_cache=None, client=None,
+                 oracle: Optional[str] = None,
+                 training_log=None):
         self.app = app
         self.objective: Objective = get_objective(objective)
         #: canonical workload reference every candidate is scored on
         #: (None: the app's default dataset)
         self.workload = workload
+        #: exact oracle (engine selection) every candidate runs under
+        #: (None: the default vectorized engine)
+        self.oracle = oracle
+        #: surrogate training log handed to every fidelity runner
+        #: (None with a store attached: the runner derives the
+        #: conventional log beside it)
+        self.training_log = training_log
         self.dataset_cache = dataset_cache
         #: optional :class:`repro.service.ServiceClient`; when set,
         #: evaluation submits through the experiment service instead of
@@ -111,7 +120,8 @@ class SimulationOracle:
             self._adopt(ExperimentRunner(
                 scale=scale, spec=self.spec, cost=self.cost,
                 verify=self.verify, store=self.store, jobs=self.jobs,
-                dataset_cache=self.dataset_cache))
+                dataset_cache=self.dataset_cache,
+                training_log=self.training_log))
         return self._runners[scale]
 
     # -- evaluation ------------------------------------------------------------
@@ -124,7 +134,8 @@ class SimulationOracle:
         regardless of worker completion order.
         """
         candidates = list(candidates)
-        specs = [c.run_spec(self.app, self.spec, workload=self.workload)
+        specs = [c.run_spec(self.app, self.spec, workload=self.workload,
+                            oracle=self.oracle)
                  for c in candidates]
         if self.client is not None:
             return self._evaluate_remote(candidates, specs, factor)

@@ -97,16 +97,42 @@ class Tuner:
     #: through the experiment service instead of local runners, sharing
     #: the daemon's coalescing, batching, and result store
     service: object = None
+    #: which registered oracle (:mod:`repro.oracle`) scores candidates:
+    #: None/'sim' = the simulator (vectorized engine), 'sim-scalar' =
+    #: the scalar reference engine, 'surrogate' = the learned
+    #: multi-fidelity prefilter (cheap rungs predicted, final rung
+    #: always simulated)
+    oracle: Optional[str] = None
+    #: surrogate training log (:class:`repro.oracle.TrainingLog`);
+    #: None with a store attached derives the conventional log beside it
+    training_log: object = None
     #: run provenance accumulated across every tune() call
     stats: RunStats = field(default_factory=RunStats, repr=False)
 
-    def _oracle(self, app: str, objective: Objective,
-                workload=None) -> SimulationOracle:
-        return SimulationOracle(
+    def _training_log(self):
+        if self.training_log is None and self.store is not None:
+            from ..oracle import TrainingLog
+
+            self.training_log = TrainingLog.for_store(self.store)
+        return self.training_log
+
+    def _oracle(self, app: str, objective: Objective, workload=None):
+        """Build the candidate scorer: a simulation oracle, threaded
+        through the named oracle's :meth:`~repro.oracle.Oracle.scorer`
+        (identity for exact oracles, surrogate wrapper for learned)."""
+        from ..oracle import get_oracle
+
+        named = get_oracle(self.oracle if self.oracle is not None
+                           else "sim")
+        log = self._training_log()
+        sim = SimulationOracle(
             app, objective, scale=self.scale, spec=self.spec, cost=self.cost,
             store=self.store, jobs=self.jobs, verify=self.verify,
             workload=workload, dataset_cache=self.dataset_cache,
-            client=self.service)
+            client=self.service, training_log=log,
+            oracle=(ExperimentRunner._canonical_oracle(named.name)
+                    if named.exact else None))
+        return named.scorer(sim, training_log=log)
 
     def _canonical_workload(self, app: str, workload):
         """Same default-folding rule as the experiment runner (shared

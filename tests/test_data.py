@@ -138,29 +138,15 @@ class TestUniformRandom:
         assert set(g.degrees.tolist()) == {8}
 
 
-class TestDeprecatedShims:
-    """uniform_random and the treegen generators folded into the
-    workload registry; the shims must warn and produce identical data."""
+class TestRetiredShims:
+    """The PR-2/PR-4 shims (``uniform_random``, the ``treegen`` module)
+    are gone per the two-PR cadence (repro.errors.DeprecationPolicy);
+    the registry spellings are the only ones left."""
 
-    def test_uniform_random_warns_and_matches(self):
-        import numpy as np
-        from repro.data import uniform_random
+    def test_uniform_random_retired(self):
+        with pytest.raises(ImportError):
+            from repro.data import uniform_random  # noqa: F401
 
-        with pytest.deprecated_call():
-            old = uniform_random(64, 4, seed=9)
-        assert np.array_equal(old.col_idx,
-                              uniform_graph(n=64, avg_degree=4,
-                                            seed=9).col_idx)
-        assert old.name == "uniform"
-
-    @pytest.mark.parametrize("name", ["tree_dataset1", "tree_dataset2"])
-    def test_treegen_shims_warn_and_match(self, name):
-        import numpy as np
-        from repro.data import treegen
-        from repro.workloads import generators
-
-        with pytest.deprecated_call():
-            old = getattr(treegen, name)(0.3)
-        new = getattr(generators, name)(0.3)
-        assert np.array_equal(old.child_idx, new.child_idx)
-        assert old.name == new.name
+    def test_treegen_module_retired(self):
+        with pytest.raises(ImportError):
+            from repro.data import treegen  # noqa: F401

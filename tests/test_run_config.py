@@ -1,0 +1,253 @@
+"""The unified RunConfig value and its compatibility guarantees.
+
+Three things are under test: (1) construction-time canonicalization —
+two configs describing the same run compare and hash equal, whatever
+spelling built them; (2) the frozen-payload run-key regression — adding
+the ``oracle`` axis (like ``workload`` and ``backend`` before it) must
+leave every pre-existing content address byte-identical, with no
+STORE_FORMAT bump; (3) the entry points — ``App.run(RunConfig)``,
+``ExperimentRunner.run_config``, the service wire format, and the CLI's
+``--oracle`` flag — all lower onto the same cache entries as the legacy
+per-axis keywords they subsume.
+"""
+
+import dataclasses
+import hashlib
+import json
+
+import pytest
+
+from repro import __version__
+from repro.apps import get_app
+from repro.oracle import OracleError
+from repro.experiments import ExperimentRunner, ResultStore
+from repro.experiments.plan import RunSpec
+from repro.experiments.store import STORE_FORMAT, run_key
+from repro.run_config import RunConfig
+from repro.sim.occupancy import LaunchConfig
+from repro.sim.specs import DEFAULT_COST_MODEL, K20C
+
+SCALE = 0.08
+
+
+# -- canonicalization ---------------------------------------------------------
+
+
+class TestCanonicalization:
+    def test_strategy_spellings_collapse(self):
+        assert (RunConfig(variant="consolidated", strategy="warp")
+                == RunConfig(variant="warp-level"))
+        assert (hash(RunConfig(variant="consolidated", strategy="grid"))
+                == hash(RunConfig(variant="grid-level")))
+
+    def test_default_oracle_and_backend_fold_to_none(self):
+        assert RunConfig(oracle="sim") == RunConfig()
+        assert RunConfig(oracle="sim").oracle is None
+        assert RunConfig(backend="sim") == RunConfig()
+        assert RunConfig(backend="sim").backend is None
+
+    def test_non_default_axes_survive(self):
+        cfg = RunConfig(variant="flat", oracle="sim-scalar", backend="cpu")
+        assert cfg.oracle == "sim-scalar" and cfg.backend == "cpu"
+        assert cfg != RunConfig(variant="flat")
+
+    def test_live_launch_config_folds_to_triple(self):
+        cfg = RunConfig(variant="warp-level",
+                        config=LaunchConfig(mode="explicit", blocks=4,
+                                            threads=128))
+        assert cfg.config == ("explicit", 4, 128)
+        assert cfg == RunConfig(variant="warp-level",
+                                config=("explicit", 4, 128))
+
+    def test_threshold_coerced_to_int(self):
+        assert RunConfig(threshold="32").threshold == 32
+        assert RunConfig(variant="warp-level", threshold=8.0).threshold == 8
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            RunConfig().variant = "flat"
+
+    def test_contradictory_variant_strategy_rejected(self):
+        with pytest.raises(ValueError, match="contradicts"):
+            RunConfig(variant="warp-level", strategy="grid")
+
+    def test_learned_oracle_rejected(self):
+        with pytest.raises(ValueError, match="tuning prefilter"):
+            RunConfig(oracle="surrogate")
+
+    def test_unknown_oracle_rejected(self):
+        with pytest.raises(OracleError, match="sim-scalar"):
+            RunConfig(oracle="delphi")
+
+    def test_emit_only_backend_rejected(self):
+        with pytest.raises(ValueError, match="does not execute"):
+            RunConfig(backend="cuda")
+
+    def test_describe_and_axes(self):
+        cfg = RunConfig(variant="consolidated", strategy="warp",
+                        threshold=16, oracle="sim-scalar")
+        text = cfg.describe()
+        assert "warp-level" in text and "threshold=16" in text
+        assert "oracle=sim-scalar" in text
+        assert cfg.axes() == {
+            "variant": "warp-level", "strategy": None, "threshold": 16,
+            "workload": None, "backend": None, "oracle": "sim-scalar",
+            "allocator": "custom", "config": None,
+        }
+
+    def test_from_config_maps_every_axis(self):
+        cfg = RunConfig(variant="warp-level", threshold=16,
+                        workload="kron(seed=9)", oracle="sim-scalar",
+                        config=("explicit", 4, 128))
+        spec = RunSpec.from_config("sssp", cfg)
+        assert spec == RunSpec(
+            app="sssp", variant="warp-level", threshold=16,
+            workload="kron(seed=9)", oracle="sim-scalar",
+            config=("explicit", 4, 128))
+
+
+# -- run-key backward compatibility -------------------------------------------
+
+
+class TestRunKeyCompat:
+    """The frozen-payload regression: the content address exactly as
+    computed before the oracle axis existed, rebuilt by hand field for
+    field. The oracle (like workload and backend) enters the payload
+    only when set, so STORE_FORMAT stays put and every pre-existing
+    store entry keeps its address."""
+
+    KWARGS = dict(
+        app="sssp", variant="grid-level", allocator="custom",
+        config=None, dataset_fp="ab" * 32, cost=DEFAULT_COST_MODEL,
+        spec=K20C, threshold=8, verify=True, version=__version__,
+    )
+
+    def _legacy_key(self, **extra):
+        payload = {
+            "format": STORE_FORMAT,
+            "version": self.KWARGS["version"],
+            "app": self.KWARGS["app"],
+            "variant": self.KWARGS["variant"],
+            "strategy": None,
+            "allocator": self.KWARGS["allocator"],
+            "config": None,
+            "dataset": self.KWARGS["dataset_fp"],
+            "cost": dataclasses.asdict(DEFAULT_COST_MODEL),
+            "spec": dataclasses.asdict(K20C),
+            "threshold": 8,
+            "verify": True,
+        }
+        payload.update(extra)
+        blob = json.dumps(payload, sort_keys=True, default=str)
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+    def test_store_format_unchanged(self):
+        assert STORE_FORMAT == 2
+
+    def test_omitted_oracle_is_byte_identical_to_legacy(self):
+        assert run_key(**self.KWARGS) == self._legacy_key()
+        assert run_key(**self.KWARGS, oracle=None) == self._legacy_key()
+
+    def test_oracle_only_enters_when_set(self):
+        assert (run_key(**self.KWARGS, oracle="sim-scalar")
+                == self._legacy_key(oracle="sim-scalar"))
+        assert (run_key(**self.KWARGS, oracle="sim-scalar")
+                != run_key(**self.KWARGS))
+
+
+# -- entry points -------------------------------------------------------------
+
+
+class TestAppRunEntry:
+    def test_run_config_matches_legacy_kwargs(self):
+        app = get_app("sssp")
+        ds = app.default_dataset(SCALE)
+        legacy = app.run("consolidated", strategy="warp", threshold=16,
+                         dataset=ds, verify=False)
+        unified = app.run(RunConfig(variant="consolidated", strategy="warp",
+                                    threshold=16), dataset=ds, verify=False)
+        assert (dataclasses.asdict(legacy.metrics)
+                == dataclasses.asdict(unified.metrics))
+        assert unified.variant == "warp-level"
+
+    def test_clashing_keywords_rejected(self):
+        app = get_app("sssp")
+        with pytest.raises(ValueError, match="threshold"):
+            app.run(RunConfig(variant="warp-level"), threshold=8,
+                    scale=SCALE)
+        with pytest.raises(ValueError, match="allocator"):
+            app.run(RunConfig(variant="warp-level"), allocator="halloc",
+                    scale=SCALE)
+
+
+class TestRunnerEntry:
+    def test_run_config_shares_cache_with_legacy(self, tmp_path):
+        runner = ExperimentRunner(scale=SCALE,
+                                  store=ResultStore(tmp_path / "store"))
+        legacy = runner.run("sssp", "warp-level", threshold=16)
+        unified = runner.run_config(
+            "sssp", RunConfig(variant="consolidated", strategy="warp",
+                              threshold=16))
+        assert unified is legacy  # one cache entry, not two
+
+    def test_oracle_forks_key_but_not_metrics(self, tmp_path):
+        runner = ExperimentRunner(scale=SCALE,
+                                  store=ResultStore(tmp_path / "store"))
+        vec = runner.run_config("sssp", RunConfig(variant="warp-level"))
+        ref = runner.run_config(
+            "sssp", RunConfig(variant="warp-level", oracle="sim-scalar"))
+        assert ref is not vec  # distinct cache entries (provenance fork)
+        assert (dataclasses.asdict(ref.metrics)
+                == dataclasses.asdict(vec.metrics))
+
+    def test_explicit_sim_oracle_folds_onto_default(self, tmp_path):
+        runner = ExperimentRunner(scale=SCALE,
+                                  store=ResultStore(tmp_path / "store"))
+        a = runner.run("sssp", "warp-level")
+        b = runner.run("sssp", "warp-level", oracle="sim")
+        assert b is a
+
+
+class TestWireFormat:
+    def test_oracle_only_on_wire_when_set(self):
+        from repro.service.protocol import spec_from_wire, spec_to_wire
+
+        bare = spec_to_wire(RunSpec(app="sssp", variant="flat"))
+        assert "oracle" not in bare
+        spec = RunSpec.from_config(
+            "sssp", RunConfig(variant="warp-level", oracle="sim-scalar"))
+        wire = spec_to_wire(spec)
+        assert wire["oracle"] == "sim-scalar"
+        assert spec_from_wire(wire) == spec
+
+    def test_wire_rejects_non_string_oracle(self):
+        from repro.service.protocol import ProtocolError, spec_from_wire
+
+        with pytest.raises(ProtocolError):
+            spec_from_wire({"app": "sssp", "variant": "flat", "oracle": 3})
+
+
+class TestCliOracle:
+    def test_run_with_oracle(self, capsys):
+        from repro.cli import main
+
+        assert main(["run", "spmv", "grid-level", "--scale", "0.15",
+                     "--oracle", "sim-scalar"]) == 0
+        out = capsys.readouterr().out
+        assert "+sim-scalar" in out and "verified=True" in out
+
+    def test_run_rejects_learned_oracle(self, capsys):
+        """``repro run`` only offers exact oracles; the surrogate is a
+        tune-time prefilter (argparse choices enforce it)."""
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["run", "spmv", "grid-level", "--oracle", "surrogate"])
+        assert "surrogate" in capsys.readouterr().err
+
+    def test_list_shows_oracles(self, capsys):
+        from repro.cli import main
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "sim-scalar" in out and "surrogate" in out

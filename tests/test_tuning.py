@@ -2,7 +2,9 @@
 registry (including plugin registration end-to-end), seeded-search
 determinism, warm-start caching (a repeated tune executes zero
 simulations), TunedConfig persistence and the ``tuned`` app variant,
-and the ``best_threshold`` fold."""
+and ``best_threshold`` (canonical in :mod:`repro.tuning`; its old
+``ablation_threshold`` spelling is retired per the deprecation
+policy)."""
 
 import json
 
@@ -362,18 +364,15 @@ class TestTunedVariant:
             get_app("sssp").run("tuned", scale=SCALE)
 
 
-class TestBestThresholdFold:
+class TestBestThreshold:
     @pytest.fixture(scope="class")
     def sweep_runner(self, store):
         return ExperimentRunner(scale=SCALE, store=store)
 
-    def test_shim_warns_and_delegates(self, sweep_runner):
-        with pytest.warns(DeprecationWarning, match="repro.tuning"):
-            shim = ablation_threshold.best_threshold(sweep_runner)
-        direct = best_threshold(
-            "sssp", variant="grid-level",
-            thresholds=ablation_threshold.THRESHOLDS, runner=sweep_runner)
-        assert shim == direct
+    def test_ablation_shim_retired(self):
+        """The PR-3 ``ablation_threshold.best_threshold`` shim is gone
+        (two-PR cadence, repro.errors.DeprecationPolicy)."""
+        assert not hasattr(ablation_threshold, "best_threshold")
 
     def test_matches_manual_argmin(self, sweep_runner):
         """The 1-D grid search gives the same answer (and hits the same
