@@ -30,6 +30,7 @@ from ..sim.device import Device
 from ..sim.occupancy import LaunchConfig
 from ..sim.profiler import RunMetrics
 from ..sim.specs import CostModel, DEFAULT_COST_MODEL, DeviceSpec, K20C
+from ..telemetry import span
 
 #: variant identifiers, matching the paper's figure legends
 BASIC = "basic-dp"
@@ -237,8 +238,10 @@ class App(abc.ABC):
         """
         from ..run_config import RunConfig
 
+        trace_path = None
         if isinstance(variant, RunConfig):
             cfg = variant
+            trace_path = cfg.trace
             clashing = [name for name, value in (
                 ("threshold", threshold), ("strategy", strategy),
                 ("backend", backend), ("oracle", oracle),
@@ -277,37 +280,58 @@ class App(abc.ABC):
                       else resolved.name)
         if dataset is None:
             dataset = self.default_dataset(scale)
-        original_threshold = self.threshold
-        if threshold is not None:
-            self.threshold = threshold
-        try:
-            source, report = self.variant_source(variant, config=config,
-                                                 spec=spec, strategy=strategy)
-            if backend is None:
-                kwargs = {} if heap_bytes is None else {"heap_bytes": heap_bytes}
-                if engine is not None:
-                    kwargs["engine"] = engine
-                device = Device(spec=spec, cost=cost, allocator=allocator,
-                                **kwargs)
-            else:
-                from ..backends import get_backend
+        from contextlib import ExitStack
 
-                device = get_backend(backend).make_device(
-                    spec=spec, cost=cost, allocator=allocator,
-                    heap_bytes=heap_bytes, engine=engine)
-            program = device.load(source)
-            result = self.host_run(device, program, dataset, variant)
-            metrics = device.synchronize()
-        finally:
-            self.threshold = original_threshold
-        checked = False
-        if verify:
-            if not self.check(result, dataset):
-                raise AssertionError(
-                    f"{self.label} [{variant}] produced a wrong result on "
-                    f"{getattr(dataset, 'name', dataset)}"
-                )
-            checked = True
+        tracer = None
+        with ExitStack() as stack:
+            if trace_path is not None:
+                # RunConfig(trace=...): a run-scoped tracer, written out
+                # after the run. Purely observational — nothing below
+                # reads it, so results and cache keys cannot shift.
+                from ..telemetry import Tracer, tracing
+
+                tracer = Tracer()
+                stack.enter_context(tracing(tracer))
+                stack.enter_context(span("app.run", app=self.key,
+                                         variant=variant))
+            original_threshold = self.threshold
+            if threshold is not None:
+                self.threshold = threshold
+            try:
+                source, report = self.variant_source(
+                    variant, config=config, spec=spec, strategy=strategy)
+                if backend is None:
+                    kwargs = ({} if heap_bytes is None
+                              else {"heap_bytes": heap_bytes})
+                    if engine is not None:
+                        kwargs["engine"] = engine
+                    device = Device(spec=spec, cost=cost, allocator=allocator,
+                                    **kwargs)
+                else:
+                    from ..backends import get_backend
+
+                    device = get_backend(backend).make_device(
+                        spec=spec, cost=cost, allocator=allocator,
+                        heap_bytes=heap_bytes, engine=engine)
+                program = device.load(source)
+                result = self.host_run(device, program, dataset, variant)
+                metrics = device.synchronize()
+            finally:
+                self.threshold = original_threshold
+            checked = False
+            if verify:
+                with span("app.verify", app=self.key):
+                    good = self.check(result, dataset)
+                if not good:
+                    raise AssertionError(
+                        f"{self.label} [{variant}] produced a wrong result "
+                        f"on {getattr(dataset, 'name', dataset)}"
+                    )
+                checked = True
+        if tracer is not None:
+            from ..telemetry import write_chrome_trace
+
+            write_chrome_trace(trace_path, tracer)
         return AppRun(
             app=self.key, variant=variant,
             dataset=getattr(dataset, "name", str(dataset)),

@@ -21,6 +21,8 @@
     repro submit sssp grid-level    # submit a run to the daemon
     repro tune sssp --socket PATH   # tune through the daemon
     repro status                    # daemon metrics (dedup/batch/cache)
+    repro status --metrics          # full telemetry registry (Prometheus)
+    repro trace sssp consolidated   # profile one run, write a Chrome trace
     repro shutdown                  # drain the daemon and stop it
     repro cache info|clear          # inspect/clear the on-disk caches
 
@@ -168,6 +170,33 @@ def main(argv=None) -> int:
                    help="exact oracle deciding the sim engine (default: "
                         "sim, the vectorized engine; 'sim-scalar' runs "
                         "the scalar reference engine)")
+    p.add_argument("--trace", default=None, metavar="PATH",
+                   help="also record a span trace of this run and write "
+                        "it as Chrome trace-event JSON to PATH")
+    _add_scale(p)
+    _add_cache(p)
+
+    p = sub.add_parser(
+        "trace",
+        help="profile one run: span tree, per-phase wall-clock "
+             "attribution, Chrome trace-event JSON")
+    p.add_argument("app")
+    p.add_argument("variant",
+                   help="basic-dp | no-dp | warp-level | block-level | "
+                        "grid-level | consolidated | tuned")
+    p.add_argument("--allocator", default="custom",
+                   choices=["default", "halloc", "custom"])
+    p.add_argument("--strategy", default=None,
+                   choices=list(available_strategies()))
+    _add_threshold(p)
+    p.add_argument("--workload", default=None, metavar="REF",
+                   help="registered workload to run on")
+    p.add_argument("--trace", default="trace.json", metavar="PATH",
+                   help="where to write the Chrome trace-event JSON "
+                        "(default: trace.json; open in ui.perfetto.dev "
+                        "or chrome://tracing)")
+    p.add_argument("--tree", action="store_true",
+                   help="also print the nested span tree")
     _add_scale(p)
     _add_cache(p)
 
@@ -256,6 +285,10 @@ def main(argv=None) -> int:
                    help="listen on TCP instead of the unix socket")
     p.add_argument("--batch-window", type=float, default=None, metavar="S",
                    help="micro-batching window in seconds (default 0.05)")
+    p.add_argument("--trace", default=None, metavar="PATH",
+                   help="record daemon spans (accept/request/batch/"
+                        "prefetch/reply) and write a Chrome trace to "
+                        "PATH on shutdown")
     _add_exec(p)
 
     p = sub.add_parser("submit", help="submit one run to the service")
@@ -277,6 +310,10 @@ def main(argv=None) -> int:
 
     p = sub.add_parser("status", help="query the service's metrics "
                                       "(queue depth, dedup/cache rates)")
+    p.add_argument("--metrics", action="store_true",
+                   help="print the daemon's full telemetry registry in "
+                        "Prometheus text format (needs a daemon "
+                        "advertising the 'metrics' feature)")
     _add_endpoint(p)
     _add_cache(p)
 
@@ -437,6 +474,9 @@ def main(argv=None) -> int:
                        allocator=args.allocator, threshold=args.threshold,
                        strategy=args.strategy, workload=args.workload,
                        backend=args.backend, oracle=args.oracle)
+        from contextlib import ExitStack
+
+        tracer = None
         t0 = time.time()
         try:
             if args.variant == "tuned":
@@ -448,7 +488,14 @@ def main(argv=None) -> int:
                              else "")
                     print(f"tuned[{entry.objective}] via {entry.algorithm}"
                           f"{where}: {entry.candidate.describe()}")
-            run = runner.run_spec(spec)
+            with ExitStack() as stack:
+                if args.trace:
+                    from .telemetry import Tracer, span, tracing
+
+                    tracer = stack.enter_context(tracing(Tracer()))
+                    stack.enter_context(span("repro.run", app=args.app,
+                                             variant=args.variant))
+                run = runner.run_spec(spec)
         except ValueError as exc:  # e.g. variant/strategy contradiction
             print(f"error: {exc}", file=sys.stderr)
             return 2
@@ -473,6 +520,55 @@ def main(argv=None) -> int:
             from .experiments.reporting import run_provenance
 
             print(run_provenance(runner.stats))
+        if tracer is not None:
+            from .telemetry import write_chrome_trace
+
+            path = write_chrome_trace(args.trace, tracer)
+            print(f"[trace: {len(tracer)} spans -> {path}]")
+        return 0
+
+    if args.command == "trace":
+        from .apps import get_app
+        from .experiments import ExperimentRunner, RunSpec
+        from .telemetry import (Tracer, attribution_table, span, span_tree,
+                                tracing, write_chrome_trace)
+        from .tuning import TunedConfigRegistry, default_tuned_path
+
+        app = get_app(args.app)
+        runner = ExperimentRunner(
+            scale=args.scale, verify=not args.no_verify,
+            tuned=TunedConfigRegistry(default_tuned_path(args.cache_dir)))
+        spec = RunSpec(app=args.app, variant=args.variant,
+                       allocator=args.allocator, threshold=args.threshold,
+                       strategy=args.strategy, workload=args.workload)
+        tracer = Tracer()
+        t0 = time.perf_counter()
+        try:
+            # the root span brackets the whole traced region, so the
+            # coverage figure is span-tree structure, not luck
+            with tracing(tracer), span("repro.trace", app=args.app,
+                                       variant=args.variant):
+                run = runner.run_spec(spec)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        except (KeyError, RuntimeError) as exc:
+            message = exc.args[0] if exc.args else exc
+            print(f"error: {message}", file=sys.stderr)
+            return 2
+        wall = time.perf_counter() - t0
+        label = run.variant if run.strategy is None else \
+            f"{run.variant}:{run.strategy}"
+        print(f"{app.label} [{label}] on {run.dataset} "
+              f"(verified={run.checked})")
+        print(run.metrics.summary())
+        print()
+        if args.tree:
+            print(span_tree(tracer))
+            print()
+        print(attribution_table(tracer, wall))
+        path = write_chrome_trace(args.trace, tracer)
+        print(f"[chrome trace -> {path}]")
         return 0
 
     if args.command == "tune":
@@ -516,6 +612,16 @@ def main(argv=None) -> int:
         if service is not None:
             service.close()
         print(result.describe())
+        if result.surrogate:
+            rep = result.surrogate
+            rungs = ", ".join(
+                f"{d['candidates']} {d['mode']} @x{d['scale']:g}"
+                for d in rep.get("decisions", ()))
+            rho = rep.get("spearman")
+            rho_text = "n/a" if rho is None else f"{rho:.3f}"
+            print(f"[surrogate rungs: {rungs}; trained on "
+                  f"{rep.get('train_rows', 0)} logged rows, "
+                  f"Spearman rho {rho_text}]")
         where = (f"via {service.endpoint}" if service is not None
                  else f"--jobs {args.jobs}")
         print(f"[tuning: {result.evaluations} evaluations "
@@ -584,7 +690,8 @@ def main(argv=None) -> int:
             tuned=TunedConfigRegistry(default_tuned_path(args.cache_dir)),
             jobs=args.jobs,
             batch_window=(args.batch_window if args.batch_window is not None
-                          else DEFAULT_BATCH_WINDOW))
+                          else DEFAULT_BATCH_WINDOW),
+            trace=args.trace)
 
         def ready():
             store_note = (f"store {svc.store.root} "
@@ -612,6 +719,9 @@ def main(argv=None) -> int:
               f"{m.executed} executed, {m.cache_hits} cache hits, "
               f"{m.coalesced} coalesced ({100 * m.dedup_rate:.1f}% dedup), "
               f"{m.batches} batches")
+        if args.trace and svc.tracer is not None:
+            print(f"[{svc.name}] trace: {len(svc.tracer)} spans -> "
+                  f"{args.trace}")
         return 0
 
     if args.command in ("submit", "status", "shutdown"):
@@ -624,6 +734,13 @@ def main(argv=None) -> int:
             return 2
         with client:
             if args.command == "status":
+                if args.metrics:
+                    try:
+                        print(client.metrics()["text"].rstrip())
+                    except ServiceError as exc:
+                        print(f"error: {exc}", file=sys.stderr)
+                        return 2
+                    return 0
                 print(describe_status(client.status()))
                 return 0
             if args.command == "shutdown":

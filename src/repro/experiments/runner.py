@@ -36,6 +36,7 @@ from ..apps import get_app
 from ..apps.common import AppRun
 from ..sim.occupancy import LaunchConfig
 from ..sim.specs import CostModel, DEFAULT_COST_MODEL, DeviceSpec, K20C
+from ..telemetry import span
 from .plan import RunSpec, WorkPlan
 from .store import ResultStore, dataset_fingerprint, run_key
 
@@ -174,9 +175,11 @@ class ExperimentRunner:
             from ..workloads import materialize_for_app
 
             app = get_app(app_key)
-            self._datasets[key] = materialize_for_app(
-                app, name if name is not None else app.default_workload,
-                self.scale, cache=self.dataset_cache)
+            with span("runner.dataset", app=app_key, name=name,
+                      scale=self.scale):
+                self._datasets[key] = materialize_for_app(
+                    app, name if name is not None else app.default_workload,
+                    self.scale, cache=self.dataset_cache)
         return self._datasets[key]
 
     def _canonical_workload(self, app_key: str,
@@ -344,7 +347,9 @@ class ExperimentRunner:
         self.stats.executed += 1
         self._cache[resolved] = run
         if self.store is not None:
-            self.store.put(self._content_key(resolved), run)
+            with span("runner.store-put", app=resolved.app,
+                      variant=resolved.variant):
+                self.store.put(self._content_key(resolved), run)
         if (self.training_log is not None and resolved.backend is None
                 and resolved.dataset is None):
             # surrogate training pair: only simulator runs on registry
@@ -365,7 +370,9 @@ class ExperimentRunner:
             self.stats.memory_hits += 1
             return run
         if self.store is not None:
-            run = self.store.get(self._content_key(resolved))
+            with span("runner.store-get", app=resolved.app,
+                      variant=resolved.variant):
+                run = self.store.get(self._content_key(resolved))
             if run is not None:
                 self.stats.disk_hits += 1
                 self._cache[resolved] = run
@@ -399,12 +406,14 @@ class ExperimentRunner:
 
     def run_spec(self, spec: RunSpec) -> AppRun:
         """Execute (or recall) one RunSpec."""
-        resolved = self._resolve(spec)
+        with span("runner.resolve", app=spec.app):
+            resolved = self._resolve(spec)
         run = self._lookup(resolved)
         if run is None:
-            run = _execute(resolved,
-                           self.dataset(resolved.app, _dataset_name(resolved)),
-                           self.spec, self.verify)
+            dataset = self.dataset(resolved.app, _dataset_name(resolved))
+            with span("runner.execute", app=resolved.app,
+                      variant=resolved.variant):
+                run = _execute(resolved, dataset, self.spec, self.verify)
             self._admit(resolved, run)
         return run
 
@@ -465,7 +474,10 @@ class ExperimentRunner:
                     for r in pending}
         if jobs > 1 and len(pending) > 1:
             workers = min(jobs, len(pending))
-            with ProcessPoolExecutor(
+            # worker processes are untraced; the pool shows up as one
+            # span covering the whole fan-out
+            with span("runner.prefetch", runs=len(pending), jobs=workers), \
+                    ProcessPoolExecutor(
                     max_workers=workers, mp_context=_pool_context(),
                     initializer=_init_worker,
                     initargs=(datasets, self.spec, self.verify)) as pool:
@@ -474,10 +486,15 @@ class ExperimentRunner:
                 for future in as_completed(futures):
                     self._admit(futures[future], future.result())
         else:
-            for resolved in pending:
-                self._admit(resolved, _execute(
-                    resolved, datasets[(resolved.app, _dataset_name(resolved))],
-                    self.spec, self.verify))
+            with span("runner.prefetch", runs=len(pending), jobs=1):
+                for resolved in pending:
+                    with span("runner.execute", app=resolved.app,
+                              variant=resolved.variant):
+                        run = _execute(
+                            resolved,
+                            datasets[(resolved.app, _dataset_name(resolved))],
+                            self.spec, self.verify)
+                    self._admit(resolved, run)
         return RunStats(
             executed=self.stats.executed - before.executed,
             memory_hits=self.stats.memory_hits - before.memory_hits,

@@ -37,6 +37,7 @@ from typing import Optional
 import numpy as np
 
 from ..apps.common import BASIC, BLOCK, CONS, FLAT, GRID, WARP
+from ..telemetry import span
 from .training import TrainingLog, cost_fingerprint
 
 #: fewest usable training rows before the model consents to fit;
@@ -151,6 +152,32 @@ class SurrogateModel:
         z = xn @ self.weights
         return np.expm1(z) if self.log_target else z
 
+    def predict_rows(self, rows: list[dict],
+                     objective) -> tuple[np.ndarray, np.ndarray]:
+        """(predicted, actual) over training-log rows with a usable
+        objective metric — the pairing behind the training-set Spearman
+        number ``repro tune`` reports. Uses each row's own scale, so the
+        fit is judged on exactly what it was trained on."""
+        xs, actual = [], []
+        for row in rows:
+            metric = row.get("metrics", {}).get(objective.metric)
+            if metric is None:
+                continue
+            xs.append(_features(row["variant"], row["strategy"],
+                                row["threshold"],
+                                tuple(row["config"]) if row["config"]
+                                else None,
+                                row["scale"], self.default_threshold))
+            actual.append(float(metric))
+        if not xs:
+            return np.empty(0), np.empty(0)
+        x = np.asarray(xs, dtype=np.float64)
+        xn = np.hstack([(x - self.x_mean) / self.x_scale,
+                        np.ones((x.shape[0], 1))])
+        z = xn @ self.weights
+        pred = np.expm1(z) if self.log_target else z
+        return pred, np.asarray(actual, dtype=np.float64)
+
 
 class SurrogateOracle:
     """Multi-fidelity prefilter: predict the cheap rungs, simulate the
@@ -172,8 +199,14 @@ class SurrogateOracle:
         self.predicted = 0
         #: low-fidelity batches that fell back to simulation (cold log)
         self.fallbacks = 0
+        #: per-batch decision trail, in evaluation order: dicts of
+        #: ``{scale, mode, candidates}`` with mode one of ``predicted``
+        #: / ``simulated`` (full fidelity) / ``fallback`` (cold log) —
+        #: surfaced by ``repro tune`` via :meth:`surrogate_report`
+        self.decisions: list[dict] = []
         self._model: Optional[SurrogateModel] = None
         self._model_fitted = False
+        self._train_rows: list[dict] = []
 
     # mirror the attributes tuner/search read off a simulation oracle
     @property
@@ -214,6 +247,7 @@ class SurrogateOracle:
                     device=self.sim.spec.name,
                     cost_fp=cost_fingerprint(self.sim.cost),
                     verify=self.sim.verify)
+                self._train_rows = rows
                 self._model = SurrogateModel.fit(
                     rows, self.sim.objective,
                     default_threshold=self._default_threshold(),
@@ -237,19 +271,27 @@ class SurrogateOracle:
         if scale >= self.sim.scale:
             # full fidelity is always simulated — a prediction must
             # never be eligible as the tuner's winner
+            self.decisions.append({"scale": scale, "mode": "simulated",
+                                   "candidates": len(candidates)})
             return self.sim.evaluate(candidates, factor)
         model = self.model()
         if model is None:
             self.fallbacks += 1
+            self.decisions.append({"scale": scale, "mode": "fallback",
+                                   "candidates": len(candidates)})
             return self.sim.evaluate(candidates, factor)
         from ..apps.common import canonicalize_variant
 
-        axes = []
-        for cand in candidates:
-            variant, strategy = canonicalize_variant(CONS, cand.strategy)
-            axes.append((variant, strategy, cand.threshold,
-                         cand.config_key(self.sim.spec)))
-        values = model.predict_axes(axes, scale)
+        self.decisions.append({"scale": scale, "mode": "predicted",
+                               "candidates": len(candidates)})
+        with span("oracle.predict", app=self.sim.app,
+                  candidates=len(candidates), scale=scale):
+            axes = []
+            for cand in candidates:
+                variant, strategy = canonicalize_variant(CONS, cand.strategy)
+                axes.append((variant, strategy, cand.threshold,
+                             cand.config_key(self.sim.spec)))
+            values = model.predict_axes(axes, scale)
         self.predicted += len(candidates)
         obj = self.sim.objective
         return [Trial(candidate=cand, value=float(v),
@@ -261,3 +303,27 @@ class SurrogateOracle:
 
     def stats(self):
         return self.sim.stats()
+
+    def surrogate_report(self) -> dict:
+        """What the surrogate decided during this tune, for ``repro
+        tune`` output and telemetry: per-batch decision trail, aggregate
+        predicted/fallback counts, training-set size, and the model's
+        Spearman rank correlation on its own training rows (the
+        inspectable counterpart of BENCH_surrogate_tune.json's claim)."""
+        model = self.model()
+        rho = None
+        if model is not None and self._train_rows:
+            pred, actual = model.predict_rows(self._train_rows,
+                                              self.sim.objective)
+            if len(pred) >= 2:
+                value = spearman(pred, actual)
+                if not math.isnan(value):
+                    rho = round(float(value), 4)
+        return {
+            "oracle": "surrogate",
+            "predicted": self.predicted,
+            "fallbacks": self.fallbacks,
+            "train_rows": 0 if model is None else model.n_rows,
+            "spearman": rho,
+            "decisions": list(self.decisions),
+        }

@@ -31,7 +31,7 @@ does not name — the runner and ``App.run`` apply
 
 from __future__ import annotations
 
-from dataclasses import dataclass, fields
+from dataclasses import dataclass, field, fields
 from typing import Optional
 
 from .apps.common import BASIC, canonicalize_variant
@@ -56,6 +56,12 @@ class RunConfig:
     oracle: Optional[str] = None
     allocator: str = "custom"
     config: Optional[tuple] = None
+    #: profiling hook, NOT a run axis: a path to write a Chrome trace
+    #: of this run to (``repro.telemetry``). ``compare=False`` keeps it
+    #: out of equality/hash, and :meth:`axes` skips it, so two configs
+    #: differing only in ``trace`` share one cache entry and telemetry
+    #: can never perturb a cache key.
+    trace: Optional[str] = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         variant, strategy = canonicalize_variant(self.variant, self.strategy)
@@ -72,6 +78,10 @@ class RunConfig:
         object.__setattr__(self, "config", config)
         if self.threshold is not None:
             object.__setattr__(self, "threshold", int(self.threshold))
+        if self.trace is not None:
+            import os
+
+            object.__setattr__(self, "trace", os.fspath(self.trace))
 
     def describe(self) -> str:
         """Compact one-line spelling (CLI/report output)."""
@@ -88,8 +98,13 @@ class RunConfig:
         return " ".join(parts)
 
     def axes(self) -> dict:
-        """The axes as a plain dict (wire formats, logging)."""
-        return {f.name: getattr(self, f.name) for f in fields(self)}
+        """The axes as a plain dict (wire formats, logging).
+
+        Only identity axes (``compare=True`` fields) appear: ``trace``
+        is a profiling hook, not part of what the run *is*.
+        """
+        return {f.name: getattr(self, f.name) for f in fields(self)
+                if f.compare}
 
 
 def _canonical_backend(backend: Optional[str]) -> Optional[str]:

@@ -25,6 +25,6 @@ format is a versioned JSON-line protocol
 from .client import (AsyncServiceClient, ServiceClient,  # noqa: F401
                      ServiceError, SubmitResult)
 from .metrics import ServiceMetrics, describe_status  # noqa: F401
-from .protocol import (PROTOCOL_VERSION, ProtocolError,  # noqa: F401
-                       default_socket_path)
+from .protocol import (FEATURES, PROTOCOL_VERSION,  # noqa: F401
+                       ProtocolError, default_socket_path)
 from .server import DEFAULT_BATCH_WINDOW, ExperimentService  # noqa: F401

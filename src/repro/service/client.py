@@ -237,6 +237,23 @@ class ServiceClient:
     def status(self) -> dict:
         return self._request({"op": "status", "id": next(self._ids)})
 
+    def supports(self, feature: str) -> bool:
+        """Whether the connected server advertised an optional op in
+        its hello response (pre-PR-8 daemons advertise nothing)."""
+        self.connect()
+        return feature in (self.server_info.get("features") or ())
+
+    def metrics(self) -> dict:
+        """The daemon's full telemetry registry: ``metrics`` (the
+        ServiceMetrics snapshot), ``registry`` (every counter/gauge/
+        histogram, structured), ``text`` (Prometheus rendering).
+        Requires a server advertising the ``metrics`` feature."""
+        if not self.supports("metrics"):
+            raise ServiceError(
+                f"service at {self.endpoint} predates the metrics op "
+                "(no 'metrics' in hello features); use status() instead")
+        return self._request({"op": "metrics", "id": next(self._ids)})
+
     def shutdown(self) -> dict:
         """Ask the server to drain and exit; returns the final report."""
         return self._request({"op": "shutdown", "id": next(self._ids)})
@@ -308,6 +325,14 @@ class AsyncServiceClient:
 
     async def status(self) -> dict:
         return await self._request({"op": "status", "id": next(self._ids)})
+
+    def supports(self, feature: str) -> bool:
+        return feature in (self.server_info.get("features") or ())
+
+    async def metrics(self) -> dict:
+        if not self.supports("metrics"):
+            raise ServiceError("connected service predates the metrics op")
+        return await self._request({"op": "metrics", "id": next(self._ids)})
 
     async def shutdown(self) -> dict:
         return await self._request({"op": "shutdown", "id": next(self._ids)})

@@ -1,4 +1,4 @@
-"""Per-endpoint service metrics.
+"""Per-endpoint service metrics, backed by the telemetry registry.
 
 The counters quantify exactly the three throughput mechanisms the
 service exists for (DESIGN.md §13): ``coalesced`` measures request
@@ -8,35 +8,78 @@ process-pool spin-up was amortized over), and ``executed`` vs.
 ``cache_hits`` measure how much of the request stream the sharded
 store absorbed. A snapshot travels over the ``status`` endpoint;
 :func:`describe_status` renders one for ``repro status``.
+
+Since PR 8 the counters live in a
+:class:`repro.telemetry.MetricsRegistry` (as ``service_<name>``
+counters), making the registry the single source of truth: the same
+values ship through the ``metrics`` op's Prometheus rendering and
+through ``status``. :class:`ServiceMetrics` keeps its original mutable
+attribute surface (``m.requests += 1``) via descriptor views, and
+``snapshot()``/:func:`describe_status` stay byte-identical to the
+dataclass era — regression-tested in ``tests/test_telemetry.py``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from typing import Optional
+
+from ..telemetry import MetricsRegistry
+
+#: counter name -> help text (order defines snapshot key order)
+_COUNTERS = {
+    "requests": "submit requests accepted (after the hello handshake)",
+    "completed": "submit requests answered with a result",
+    "failed": "submit requests answered with an error (bad spec, failed run)",
+    "coalesced": "requests that attached to an identical in-flight execution",
+    "executed": "unique runs actually simulated",
+    "cache_hits": "unique submitted runs served from the result store",
+    "batches": "micro-batches flushed to the runner",
+    "max_batch": "largest micro-batch so far",
+    "connections": "connections accepted over the service lifetime",
+}
 
 
-@dataclass
+class _CounterView:
+    """Attribute view onto a registry counter: reads return its value,
+    writes (``m.requests += 1`` and plain assignment) set it."""
+
+    def __set_name__(self, owner, name: str) -> None:
+        self._name = name
+
+    def __get__(self, obj, owner=None):
+        if obj is None:
+            return self
+        return obj._counters[self._name].value
+
+    def __set__(self, obj, value) -> None:
+        obj._counters[self._name].set(value)
+
+
 class ServiceMetrics:
     """Monotonic counters over the life of one service process."""
 
-    #: submit requests accepted (after the hello handshake)
-    requests: int = 0
-    #: submit requests answered with a result
-    completed: int = 0
-    #: submit requests answered with an error (bad spec, failed run)
-    failed: int = 0
-    #: requests that attached to an identical in-flight execution
-    coalesced: int = 0
-    #: unique runs actually simulated
-    executed: int = 0
-    #: unique submitted runs served from the result store instead
-    cache_hits: int = 0
-    #: micro-batches flushed to the runner
-    batches: int = 0
-    #: largest micro-batch so far
-    max_batch: int = 0
-    #: connections accepted over the service lifetime
-    connections: int = 0
+    requests = _CounterView()
+    completed = _CounterView()
+    failed = _CounterView()
+    coalesced = _CounterView()
+    executed = _CounterView()
+    cache_hits = _CounterView()
+    batches = _CounterView()
+    max_batch = _CounterView()
+    connections = _CounterView()
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None, **values):
+        #: the backing registry — the daemon shares it with the
+        #: ``metrics`` op, so every counter also renders as
+        #: ``service_<name>`` Prometheus text
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._counters = {
+            name: self.registry.counter(f"service_{name}", help=text)
+            for name, text in _COUNTERS.items()}
+        for name, value in values.items():
+            if name not in _COUNTERS:
+                raise TypeError(f"unknown metric {name!r}")
+            setattr(self, name, value)
 
     @property
     def dedup_rate(self) -> float:
@@ -63,6 +106,16 @@ class ServiceMetrics:
             "dedup_rate": round(self.dedup_rate, 4),
             "cache_hit_rate": round(self.cache_hit_rate, 4),
         }
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{name}={getattr(self, name)}"
+                          for name in _COUNTERS)
+        return f"ServiceMetrics({inner})"
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, ServiceMetrics):
+            return NotImplemented
+        return all(getattr(self, n) == getattr(other, n) for n in _COUNTERS)
 
 
 def describe_status(payload: dict) -> str:

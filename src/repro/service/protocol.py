@@ -14,10 +14,20 @@ Operations::
     {"op": "hello",    "protocol": 1}
     {"op": "submit",   "id": 7, "spec": {...}, "scale": 0.5}
     {"op": "status",   "id": 8}
-    {"op": "shutdown", "id": 9}
+    {"op": "metrics",  "id": 9}
+    {"op": "shutdown", "id": 10}
 
 Responses are ``{"ok": true, "id": ..., ...}`` or
 ``{"ok": false, "id": ..., "error": "..."}``.
+
+Optional operations stay inside protocol v1 via *feature
+advertisement*: the hello response lists the server's optional ops in
+``features`` (:data:`FEATURES`), and a client only issues one after
+seeing it advertised — an old client against a new daemon ignores the
+extra hello field, a new client against an old daemon sees no
+advertisement and degrades gracefully. ``metrics`` (PR 8) returns the
+daemon's full telemetry registry: a structured snapshot plus a
+Prometheus text rendering (``repro status --metrics``).
 
 This module owns the (de)serialization of the experiment types that
 cross the wire: :class:`~repro.experiments.plan.RunSpec` (requests),
@@ -37,6 +47,11 @@ from typing import Optional
 #: bump on any incompatible change to message shapes; the handshake
 #: rejects mismatched clients before any request is interpreted
 PROTOCOL_VERSION = 1
+
+#: optional ops this server supports beyond the v1 core, advertised in
+#: the hello response — additions here must never change the meaning of
+#: an existing message (that is what a version bump is for)
+FEATURES = ("metrics",)
 
 #: environment variable overriding the default unix-socket path
 SOCKET_ENV = "REPRO_SOCKET"

@@ -45,10 +45,11 @@ from typing import Optional
 from .. import __version__
 from ..experiments.runner import ExperimentRunner, RunStats
 from ..sim.specs import CostModel, DEFAULT_COST_MODEL, DeviceSpec, K20C
+from ..telemetry import MetricsRegistry, Tracer, install, span, uninstall
 from .metrics import ServiceMetrics
-from .protocol import (MAX_LINE, PROTOCOL_VERSION, ProtocolError, decode,
-                       encode, error, ok, run_to_wire, spec_from_wire,
-                       stats_to_wire)
+from .protocol import (FEATURES, MAX_LINE, PROTOCOL_VERSION, ProtocolError,
+                       decode, encode, error, ok, run_to_wire,
+                       spec_from_wire, stats_to_wire)
 
 #: default micro-batching window in seconds: long enough for a burst of
 #: concurrent clients to land in one batch, short enough to be invisible
@@ -110,7 +111,7 @@ class ExperimentService:
                  store=None, dataset_cache=None, tuned=None,
                  tuned_objective: str = "cycles", jobs: int = 1,
                  batch_window: float = DEFAULT_BATCH_WINDOW,
-                 name: str = "repro-service"):
+                 name: str = "repro-service", trace=None):
         self.scale = scale
         self.spec = spec
         self.cost = cost if cost is not None else DEFAULT_COST_MODEL
@@ -122,7 +123,23 @@ class ExperimentService:
         self.jobs = jobs
         self.batch_window = batch_window
         self.name = name
-        self.metrics = ServiceMetrics()
+        #: the daemon's telemetry registry: ServiceMetrics counters plus
+        #: the request-latency and batch-size histograms, served whole
+        #: by the ``metrics`` op
+        self.registry = MetricsRegistry()
+        self.metrics = ServiceMetrics(registry=self.registry)
+        self._request_seconds = self.registry.histogram(
+            "service_request_seconds",
+            help="submit latency, accept to reply (seconds)")
+        self._batch_size = self.registry.histogram(
+            "service_batch_size",
+            help="runs per flushed micro-batch",
+            edges=(1, 2, 4, 8, 16, 32, 64, 128))
+        #: optional trace output: a path makes serve() install a
+        #: process-global tracer (spans flow from the event loop *and*
+        #: the worker thread) and write a Chrome trace at shutdown
+        self.trace_path = trace
+        self.tracer: Optional[Tracer] = Tracer() if trace else None
         self.endpoint: str = "(not listening)"
         self._runners: dict[float, ExperimentRunner] = {}
         self._inflight: dict[tuple, _Flight] = {}
@@ -181,7 +198,12 @@ class ExperimentService:
         before = replace(runner.stats)
         prefetched = True
         try:
-            runner.prefetch(resolved, jobs=self.jobs, executed=executed)
+            # spans here run on the worker thread; they reach the
+            # collector through the process-global tracer (ContextVars
+            # do not cross run_in_executor)
+            with span("service.prefetch", runs=len(resolved),
+                      scale=runner.scale):
+                runner.prefetch(resolved, jobs=self.jobs, executed=executed)
         except Exception:  # noqa: BLE001 — isolated per spec below
             prefetched = False
         # snapshot here so the collection pass's own cache reads below
@@ -216,11 +238,14 @@ class ExperimentService:
             self._wake.clear()
             if self._pending:
                 if self.batch_window > 0 and not self._stopping:
-                    await asyncio.sleep(self.batch_window)
+                    with span("service.batch-wait",
+                              window=self.batch_window):
+                        await asyncio.sleep(self.batch_window)
                 batch, self._pending = self._pending, []
                 self.metrics.batches += 1
                 self.metrics.max_batch = max(self.metrics.max_batch,
                                              len(batch))
+                self._batch_size.observe(len(batch))
                 groups: dict[float, list[_Job]] = {}
                 for job in batch:
                     groups.setdefault(job.scale, []).append(job)
@@ -266,9 +291,12 @@ class ExperimentService:
 
     async def _submit(self, msg: dict, send) -> None:
         self._active_submits += 1
+        t0 = time.monotonic()
         try:
-            await self._submit_inner(msg, send)
+            with span("service.request", id=msg.get("id")):
+                await self._submit_inner(msg, send)
         finally:
+            self._request_seconds.observe(time.monotonic() - t0)
             self._active_submits -= 1
             if self._active_submits == 0:
                 self._submits_settled.set()
@@ -333,8 +361,9 @@ class ExperimentService:
             await send(error(rid, exc))
             return
         self.metrics.completed += 1
-        await send(ok(rid, run=run_wire, stats=stats_wire,
-                      source="coalesced" if coalesced else flight.source))
+        with span("service.reply", id=rid):
+            await send(ok(rid, run=run_wire, stats=stats_wire,
+                          source="coalesced" if coalesced else flight.source))
 
     def status_payload(self) -> dict:
         payload = {
@@ -405,29 +434,32 @@ class ExperimentService:
 
         try:
             # handshake: exactly one hello, version-checked, first
-            try:
-                line = await reader.readline()
-            except ValueError:  # line beyond the stream limit
-                await send(error(None, f"message exceeds {MAX_LINE} bytes"))
-                return
-            if not line:
-                return
-            try:
-                hello = decode(line)
-            except ProtocolError as exc:
-                await send(error(None, exc))
-                return
-            if hello.get("op") != "hello" \
-                    or hello.get("protocol") != PROTOCOL_VERSION:
-                await send(error(hello.get("id"),
-                                 f"protocol version mismatch: server speaks "
-                                 f"v{PROTOCOL_VERSION}, client sent "
-                                 f"{hello.get('protocol')!r}"))
-                return
-            await send(ok(hello.get("id"), op="hello",
-                          protocol=PROTOCOL_VERSION, server=self.name,
-                          version=__version__, device=self.spec.name,
-                          scale=self.scale, verify=self.verify))
+            with span("service.accept"):
+                try:
+                    line = await reader.readline()
+                except ValueError:  # line beyond the stream limit
+                    await send(error(None,
+                                     f"message exceeds {MAX_LINE} bytes"))
+                    return
+                if not line:
+                    return
+                try:
+                    hello = decode(line)
+                except ProtocolError as exc:
+                    await send(error(None, exc))
+                    return
+                if hello.get("op") != "hello" \
+                        or hello.get("protocol") != PROTOCOL_VERSION:
+                    await send(error(hello.get("id"),
+                                     f"protocol version mismatch: server "
+                                     f"speaks v{PROTOCOL_VERSION}, client "
+                                     f"sent {hello.get('protocol')!r}"))
+                    return
+                await send(ok(hello.get("id"), op="hello",
+                              protocol=PROTOCOL_VERSION, server=self.name,
+                              version=__version__, device=self.spec.name,
+                              scale=self.scale, verify=self.verify,
+                              features=list(FEATURES)))
             while True:
                 try:
                     line = await reader.readline()
@@ -453,6 +485,13 @@ class ExperimentService:
                     task.add_done_callback(tasks.discard)
                 elif op == "status":
                     await send(ok(msg.get("id"), **self.status_payload()))
+                elif op == "metrics":
+                    # optional op (advertised via hello features): the
+                    # whole telemetry registry, structured + Prometheus
+                    await send(ok(msg.get("id"),
+                                  metrics=self.metrics.snapshot(),
+                                  registry=self.registry.snapshot(),
+                                  text=self.registry.render()))
                 elif op == "shutdown":
                     task = asyncio.ensure_future(self._shutdown(msg, send))
                     tasks.add(task)
@@ -532,6 +571,11 @@ class ExperimentService:
         batcher = asyncio.ensure_future(self._batch_loop())
         if ready is not None:
             ready()
+        if self.tracer is not None:
+            # process-global, not context-scoped: connection handlers
+            # are spawned from the loop's own context and batches run on
+            # the executor thread — both must reach the same collector
+            install(self.tracer)
         try:
             await self._done
             # a signal-initiated shutdown never awaited the drain
@@ -551,6 +595,13 @@ class ExperimentService:
             batcher.cancel()
             with contextlib.suppress(asyncio.CancelledError):
                 await batcher
+            if self.tracer is not None:
+                uninstall(self.tracer)
+                if self.trace_path:
+                    from ..telemetry import write_chrome_trace
+
+                    with contextlib.suppress(OSError):
+                        write_chrome_trace(self.trace_path, self.tracer)
             if socket_path is not None:
                 # remove the socket file only if it is still *ours* — a
                 # replacement daemon may have bound a fresh one there

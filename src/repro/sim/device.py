@@ -27,6 +27,7 @@ from ..errors import LaunchError, SimulationError
 from ..frontend.ast_nodes import Module
 from ..frontend.parser import parse
 from ..frontend.typecheck import ModuleInfo, check_module
+from ..telemetry import span
 from .cache import MemorySystem
 from .dp import DPRuntime
 from .engine import FunctionalEngine, KernelInstance
@@ -112,15 +113,17 @@ class Device:
 
     def load(self, module: Union[str, Module, ModuleInfo]) -> Program:
         """Parse/check/compile a MiniCUDA module and register its kernels."""
-        if isinstance(module, str):
-            module = parse(module)
-        if isinstance(module, Module):
-            # allow __dp_* names: consolidated sources legitimately use
-            # them, and the compiler has already vetted user inputs
-            info = check_module(module, allow_reserved=True)
-        else:
-            info = module
-        compiled = compile_module(info)
+        with span("sim.codegen"):
+            if isinstance(module, str):
+                module = parse(module)
+            if isinstance(module, Module):
+                # allow __dp_* names: consolidated sources legitimately
+                # use them, and the compiler has already vetted user
+                # inputs
+                info = check_module(module, allow_reserved=True)
+            else:
+                info = module
+            compiled = compile_module(info)
         for name, fn in compiled.functions.items():
             existing = self.kernels.get(name)
             if existing is not None:
@@ -204,10 +207,11 @@ class Device:
     def synchronize(self) -> RunMetrics:
         """Run the timing model over everything launched since the last
         synchronize and return the fused metrics."""
-        scheduler = DeviceScheduler(self.spec, self.cost, self.memsys)
-        timing = scheduler.run(self._roots)
-        metrics = collect_metrics(self._roots, timing, self.memsys,
-                                  self.dp.stats, self.allocator)
+        with span("sim.timing", kernels=len(self._roots)):
+            scheduler = DeviceScheduler(self.spec, self.cost, self.memsys)
+            timing = scheduler.run(self._roots)
+            metrics = collect_metrics(self._roots, timing, self.memsys,
+                                      self.dp.stats, self.allocator)
         self.last_metrics = metrics
         self._roots = []
         return metrics

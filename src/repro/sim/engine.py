@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from ..errors import SimulationError
+from ..telemetry import span
 from .events import ATOM, DEVSYNC, INTR, LAUNCH, LD, ST, SYNC, WSYNC, ThreadCtx
 from .memory import DeviceArray
 
@@ -148,7 +149,23 @@ class FunctionalEngine:
         visits — artificially deep and overflow the 24-level DP nesting
         limit that real runs never hit.)
         """
-        self._run_tree([inst])
+        from collections import deque
+
+        # coarse tracing split: the root kernel's own rounds (including
+        # device-synced children, which run inside _consume_devsync),
+        # then the FIFO drain of fire-and-forget DP descendants. The
+        # recursive _run_tree below stays uninstrumented so DP-heavy
+        # runs don't flood the collector with per-devsync spans.
+        queue: deque = deque()
+        with span("sim.round-loop", kernel=inst.name):
+            self._run_blocks(inst, queue)
+        if queue:
+            with span("sim.dp-drain", kernel=inst.name) as sp:
+                drained = 0
+                while queue:
+                    self._run_blocks(queue.popleft(), queue)
+                    drained += 1
+                sp.set(launches=drained)
 
     def _run_tree(self, roots: list[KernelInstance]) -> None:
         from collections import deque

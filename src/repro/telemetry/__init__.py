@@ -1,0 +1,32 @@
+"""repro.telemetry — tracing, metrics and profiling for the whole stack.
+
+Three layers, zero dependencies:
+
+* :mod:`trace` — ``with span("phase", **attrs):`` contexts feeding a
+  bounded :class:`Tracer`; free when no tracer is active.
+* :mod:`metrics` — a typed :class:`MetricsRegistry` (counters, gauges,
+  fixed-bucket histograms) with Prometheus text rendering; the service
+  daemon's per-endpoint counters are its first client.
+* :mod:`export` — deterministic Chrome-trace-event JSON (Perfetto /
+  chrome://tracing), per-phase attribution tables and span trees.
+
+Invariants (regression-tested): telemetry off allocates no span
+objects; telemetry on never perturbs results — cache keys and
+``RunMetrics`` stay byte-identical, and the service wire protocol only
+gains an optional, feature-advertised ``metrics`` op.
+"""
+
+from .metrics import (DEFAULT_BUCKETS, Counter, Gauge, Histogram,
+                      MetricsRegistry)
+from .trace import (NULL_SPAN, Span, Tracer, enabled, install, span,
+                    tracing, uninstall)
+from .export import (attribution, attribution_table, chrome_trace, coverage,
+                     span_tree, validate_chrome_trace, write_chrome_trace)
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "DEFAULT_BUCKETS",
+    "Span", "Tracer", "NULL_SPAN", "span", "enabled", "tracing",
+    "install", "uninstall",
+    "chrome_trace", "write_chrome_trace", "validate_chrome_trace",
+    "attribution", "attribution_table", "coverage", "span_tree",
+]

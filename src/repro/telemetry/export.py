@@ -1,0 +1,186 @@
+"""Trace exporters: Chrome trace-event JSON, attribution, span trees.
+
+The JSON exporter targets the Chrome trace-event format ("JSON Object
+Format" with a ``traceEvents`` list of ``ph: "X"`` complete events),
+which both chrome://tracing and Perfetto open directly. Export is
+deterministic for a deterministic run: spans sort by (start, record
+order), thread ids compress to first-seen small integers, and
+timestamps are microseconds from the tracer's epoch.
+
+The text side serves ``repro trace``: a per-phase wall-clock
+attribution table (self-time, so a parent is not double-billed for its
+children) and an indented span tree.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from collections import defaultdict
+from typing import Optional
+
+from .trace import Tracer
+
+#: stamped into ``otherData`` so tools can gate on the producer
+TRACE_FORMAT = "repro-telemetry/1"
+
+_SCALARS = (str, int, float, bool, type(None))
+
+
+def _arg(value):
+    return value if isinstance(value, _SCALARS) else str(value)
+
+
+def chrome_trace(tracer: Tracer) -> dict:
+    """The trace as a Chrome trace-event JSON object."""
+    spans = tracer.spans()
+    tids: dict[int, int] = {}
+    names: dict[int, str] = {t.ident: t.name for t in threading.enumerate()}
+    events = []
+    for sp in spans:
+        tid = tids.setdefault(sp.thread, len(tids) + 1)
+        event = {
+            "name": sp.name,
+            "cat": "repro",
+            "ph": "X",
+            "ts": round((sp.t0 - tracer.epoch) * 1e6, 3),
+            "dur": round((sp.t1 - sp.t0) * 1e6, 3),
+            "pid": 1,
+            "tid": tid,
+        }
+        if sp.attrs:
+            event["args"] = {k: _arg(v) for k, v in sp.attrs.items()}
+        events.append(event)
+    meta = [{"name": "thread_name", "ph": "M", "pid": 1, "tid": tid,
+             "args": {"name": names.get(ident, f"thread-{tid}")}}
+            for ident, tid in sorted(tids.items(), key=lambda kv: kv[1])]
+    return {
+        "traceEvents": meta + events,
+        "displayTimeUnit": "ms",
+        "otherData": {"format": TRACE_FORMAT, "spans": len(events),
+                      "dropped": tracer.dropped},
+    }
+
+
+def write_chrome_trace(path, tracer: Tracer) -> str:
+    """Write the Chrome trace JSON to ``path`` (dirs created); the
+    written path is returned for reporting."""
+    path = os.fspath(path)
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(chrome_trace(tracer), fh, indent=1)
+        fh.write("\n")
+    return path
+
+
+def validate_chrome_trace(obj: dict) -> int:
+    """Schema-check a Chrome trace object; the number of complete
+    (``ph: "X"``) events is returned. Raises ``ValueError`` on any
+    violation — the test suite runs every exported trace through this.
+    """
+    if not isinstance(obj, dict):
+        raise ValueError("trace must be a JSON object")
+    events = obj.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("traceEvents must be a list")
+    n_complete = 0
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            raise ValueError(f"event {i}: not an object")
+        ph = ev.get("ph")
+        if ph not in ("X", "M"):
+            raise ValueError(f"event {i}: unsupported phase {ph!r}")
+        if not isinstance(ev.get("name"), str):
+            raise ValueError(f"event {i}: name must be a string")
+        if not isinstance(ev.get("pid"), int) \
+                or not isinstance(ev.get("tid"), int):
+            raise ValueError(f"event {i}: pid/tid must be integers")
+        if "args" in ev and not isinstance(ev["args"], dict):
+            raise ValueError(f"event {i}: args must be an object")
+        if ph == "X":
+            for key in ("ts", "dur"):
+                if not isinstance(ev.get(key), (int, float)):
+                    raise ValueError(f"event {i}: {key} must be numeric")
+            if ev["dur"] < 0:
+                raise ValueError(f"event {i}: negative duration")
+            n_complete += 1
+    return n_complete
+
+
+# -- attribution --------------------------------------------------------------
+
+
+def attribution(tracer: Tracer) -> list[dict]:
+    """Per-phase rows: count, total seconds, self seconds (total minus
+    time inside child spans), sorted by self-time descending."""
+    spans = tracer.spans()
+    child_time: dict[int, float] = defaultdict(float)
+    for sp in spans:
+        if sp.parent is not None:
+            child_time[id(sp.parent)] += sp.duration
+    rows: dict[str, dict] = {}
+    for sp in spans:
+        row = rows.setdefault(sp.name, {"phase": sp.name, "count": 0,
+                                        "total_s": 0.0, "self_s": 0.0})
+        row["count"] += 1
+        row["total_s"] += sp.duration
+        row["self_s"] += max(0.0, sp.duration - child_time.get(id(sp), 0.0))
+    return sorted(rows.values(), key=lambda r: (-r["self_s"], r["phase"]))
+
+
+def coverage(tracer: Tracer, wall_s: float) -> float:
+    """Fraction of ``wall_s`` covered by top-level spans (the
+    acceptance number: a trace that misses wall-clock is lying)."""
+    top = sum(sp.duration for sp in tracer.spans() if sp.parent is None)
+    return min(1.0, top / wall_s) if wall_s > 0 else 0.0
+
+
+def attribution_table(tracer: Tracer, wall_s: Optional[float] = None) -> str:
+    """The ``repro trace`` attribution table. Self-time percentages are
+    against measured wall-clock, so the column sums to the coverage."""
+    spans = tracer.spans()
+    if not spans:
+        return "(no spans recorded)"
+    if wall_s is None:
+        wall_s = max(sp.t1 for sp in spans) - min(sp.t0 for sp in spans)
+    rows = attribution(tracer)
+    width = max(24, max(len(r["phase"]) for r in rows) + 2)
+    lines = [f"{'phase':<{width}} {'count':>7} {'total':>10} "
+             f"{'self':>10} {'% wall':>7}"]
+    for r in rows:
+        pct = 100.0 * r["self_s"] / wall_s if wall_s > 0 else 0.0
+        lines.append(f"{r['phase']:<{width}} {r['count']:>7} "
+                     f"{r['total_s']:>9.4f}s {r['self_s']:>9.4f}s "
+                     f"{pct:>6.1f}%")
+    cov = coverage(tracer, wall_s)
+    lines.append(f"[{len(spans)} spans cover {100.0 * cov:.1f}% of "
+                 f"{wall_s:.4f}s wall-clock; {tracer.dropped} dropped]")
+    return "\n".join(lines)
+
+
+def span_tree(tracer: Tracer, max_children: int = 8) -> str:
+    """Indented span tree (children beyond ``max_children`` per parent
+    are elided with a count, keeping deep sim traces printable)."""
+    spans = tracer.spans()
+    children: dict[Optional[int], list] = defaultdict(list)
+    for sp in spans:
+        children[id(sp.parent) if sp.parent is not None else None].append(sp)
+    lines: list[str] = []
+
+    def emit(sp, depth):
+        attrs = "".join(f" {k}={_arg(v)}" for k, v in sp.attrs.items())
+        lines.append(f"{'  ' * depth}{sp.name:<{max(1, 32 - 2 * depth)}} "
+                     f"{sp.duration * 1e3:>9.3f}ms{attrs}")
+        kids = children.get(id(sp), [])
+        for kid in kids[:max_children]:
+            emit(kid, depth + 1)
+        if len(kids) > max_children:
+            lines.append(f"{'  ' * (depth + 1)}... "
+                         f"{len(kids) - max_children} more")
+
+    for root in children.get(None, []):
+        emit(root, 0)
+    return "\n".join(lines) if lines else "(no spans recorded)"

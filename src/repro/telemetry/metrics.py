@@ -1,0 +1,180 @@
+"""Typed metrics: counters, gauges and fixed-bucket histograms.
+
+A :class:`MetricsRegistry` is a named, get-or-create collection — the
+service daemon owns one, :class:`repro.service.metrics.ServiceMetrics`
+backs its per-endpoint counters onto it, and the wire ``metrics`` op
+ships both a structured snapshot and the Prometheus text rendering of
+:meth:`MetricsRegistry.render`.
+
+Zero dependencies by design (no prometheus_client): the exposition
+format is a dozen lines of text, and keeping telemetry import-clean
+means the sim and runner can be instrumented without dragging anything
+into their import graphs.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from bisect import bisect_left
+from typing import Optional, Union
+
+#: latency-flavoured default edges, in seconds
+DEFAULT_BUCKETS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0)
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+Number = Union[int, float]
+
+
+class Counter:
+    """A monotonically incremented value (``set`` exists so descriptor
+    views over legacy mutable fields can assign directly)."""
+
+    kind = "counter"
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self.value: Number = 0
+
+    def inc(self, amount: Number = 1) -> None:
+        self.value += amount
+
+    def set(self, value: Number) -> None:
+        self.value = value
+
+
+class Gauge:
+    """A value that goes up and down (queue depths, active requests)."""
+
+    kind = "gauge"
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self.value: Number = 0
+
+    def set(self, value: Number) -> None:
+        self.value = value
+
+    def inc(self, amount: Number = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: Number = 1) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Fixed-bucket histogram (cumulative rendering à la Prometheus)."""
+
+    kind = "histogram"
+    __slots__ = ("name", "help", "edges", "counts", "sum", "count")
+
+    def __init__(self, name: str, help: str = "",
+                 edges: tuple = DEFAULT_BUCKETS):
+        edges = tuple(float(e) for e in edges)
+        if list(edges) != sorted(edges) or len(set(edges)) != len(edges):
+            raise ValueError(f"histogram edges must be sorted/unique: {edges}")
+        self.name = name
+        self.help = help
+        self.edges = edges
+        #: per-bucket (non-cumulative) counts; [-1] is the +Inf bucket
+        self.counts = [0] * (len(edges) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: Number) -> None:
+        self.counts[bisect_left(self.edges, value)] += 1
+        self.sum += value
+        self.count += 1
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Named get-or-create metric collection with deterministic export."""
+
+    def __init__(self):
+        self._metrics: dict[str, Metric] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, cls, name: str, help: str, **kw) -> Metric:
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name: {name!r}")
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = cls(name, help, **kw)
+                self._metrics[name] = metric
+            elif not isinstance(metric, cls):
+                raise TypeError(
+                    f"metric {name!r} already registered as {metric.kind}")
+            return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(self, name: str, help: str = "",
+                  edges: tuple = DEFAULT_BUCKETS) -> Histogram:
+        return self._get_or_create(Histogram, name, help, edges=edges)
+
+    def get(self, name: str) -> Optional[Metric]:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._metrics)
+
+    def snapshot(self) -> dict:
+        """JSON-able view: scalars for counters/gauges, a dict with
+        bucket edges / counts / sum / count for histograms."""
+        out = {}
+        with self._lock:
+            items = sorted(self._metrics.items())
+        for name, m in items:
+            if isinstance(m, Histogram):
+                out[name] = {"kind": m.kind, "edges": list(m.edges),
+                             "counts": list(m.counts),
+                             "sum": m.sum, "count": m.count}
+            else:
+                out[name] = {"kind": m.kind, "value": m.value}
+        return out
+
+    def render(self) -> str:
+        """Prometheus text exposition (sorted by metric name)."""
+        lines = []
+        with self._lock:
+            items = sorted(self._metrics.items())
+        for name, m in items:
+            if m.help:
+                lines.append(f"# HELP {name} {m.help}")
+            lines.append(f"# TYPE {name} {m.kind}")
+            if isinstance(m, Histogram):
+                cumulative = 0
+                for edge, n in zip(m.edges, m.counts):
+                    cumulative += n
+                    lines.append(
+                        f'{name}_bucket{{le="{_fmt(edge)}"}} {cumulative}')
+                lines.append(f'{name}_bucket{{le="+Inf"}} {m.count}')
+                lines.append(f"{name}_sum {_fmt(m.sum)}")
+                lines.append(f"{name}_count {m.count}")
+            else:
+                lines.append(f"{name} {_fmt(m.value)}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _fmt(value: Number) -> str:
+    """Prometheus-friendly number formatting (no trailing .0 on ints)."""
+    if isinstance(value, int):
+        return str(value)
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))

@@ -33,6 +33,7 @@ from typing import Optional
 
 from ..experiments.runner import ExperimentRunner, RunStats
 from ..sim.specs import CostModel, DEFAULT_COST_MODEL, DeviceSpec, K20C
+from ..telemetry import span
 from .objectives import Objective, get_objective
 from .space import Candidate
 
@@ -137,16 +138,20 @@ class SimulationOracle:
         specs = [c.run_spec(self.app, self.spec, workload=self.workload,
                             oracle=self.oracle)
                  for c in candidates]
-        if self.client is not None:
-            return self._evaluate_remote(candidates, specs, factor)
-        runner = self.runner_for(factor)
-        runner.prefetch(specs, jobs=self.jobs)
-        trials = []
-        for cand, spec in zip(candidates, specs):
-            value = self.objective.value(runner.run_spec(spec).metrics)
-            trials.append(Trial(candidate=cand, value=value,
-                                loss=self.objective.loss(value),
-                                scale=runner.scale))
+        with span("tune.evaluate", app=self.app,
+                  candidates=len(candidates),
+                  scale=self._rung_scale(factor),
+                  remote=self.client is not None):
+            if self.client is not None:
+                return self._evaluate_remote(candidates, specs, factor)
+            runner = self.runner_for(factor)
+            runner.prefetch(specs, jobs=self.jobs)
+            trials = []
+            for cand, spec in zip(candidates, specs):
+                value = self.objective.value(runner.run_spec(spec).metrics)
+                trials.append(Trial(candidate=cand, value=value,
+                                    loss=self.objective.loss(value),
+                                    scale=runner.scale))
         return trials
 
     def _evaluate_remote(self, candidates, specs,

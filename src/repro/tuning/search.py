@@ -31,6 +31,7 @@ import math
 import random
 from typing import Optional
 
+from ..telemetry import span
 from .oracle import SimulationOracle, Trial
 from .space import Candidate
 
@@ -114,7 +115,9 @@ class SuccessiveHalving(SearchAlgorithm):
         survivors = self._pool(candidates, budget, seed)
         trials: list[Trial] = []
         for rung, factor in enumerate(self.rungs):
-            scored = oracle.evaluate(survivors, factor)
+            with span("tune.rung", rung=rung, factor=factor,
+                      candidates=len(survivors)):
+                scored = oracle.evaluate(survivors, factor)
             trials.extend(scored)
             if rung == len(self.rungs) - 1:
                 break

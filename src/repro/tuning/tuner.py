@@ -24,6 +24,7 @@ from .. import __version__
 from ..apps import get_app
 from ..experiments.runner import ExperimentRunner, RunStats
 from ..sim.specs import CostModel, DeviceSpec, K20C
+from ..telemetry import span
 from .objectives import Objective, get_objective
 from .oracle import SimulationOracle, Trial
 from .registry import TunedConfig, TunedConfigRegistry, tuned_key
@@ -44,6 +45,10 @@ class TuningResult:
     config: TunedConfig
     key: str
     stats: RunStats
+    #: when the scorer was a surrogate oracle: its decision report
+    #: (per-rung predicted/simulated counts, training-set Spearman rho;
+    #: :meth:`repro.oracle.surrogate.SurrogateOracle.surrogate_report`)
+    surrogate: Optional[dict] = None
 
     @property
     def evaluations(self) -> int:
@@ -161,18 +166,21 @@ class Tuner:
         algo = get_search(algorithm)
         oracle = self._oracle(app, obj, workload=workload)
 
-        trials = list(algo.search(oracle, space.candidates(),
-                                  budget=budget, seed=seed))
-        # the paper default is always scored at full fidelity and wins
-        # ties; reuse the search's own trial when it already visited it
-        default = space.default_candidate()
-        baseline = next(
-            (t for t in trials
-             if t.candidate == default and oracle.is_full_fidelity(t)),
-            None)
-        if baseline is None:
-            baseline = oracle.evaluate([default])[0]
-            trials.append(baseline)
+        with span("tune.app", app=app, objective=obj.name,
+                  algorithm=algo.name):
+            trials = list(algo.search(oracle, space.candidates(),
+                                      budget=budget, seed=seed))
+            # the paper default is always scored at full fidelity and
+            # wins ties; reuse the search's own trial when it already
+            # visited it
+            default = space.default_candidate()
+            baseline = next(
+                (t for t in trials
+                 if t.candidate == default and oracle.is_full_fidelity(t)),
+                None)
+            if baseline is None:
+                baseline = oracle.evaluate([default])[0]
+                trials.append(baseline)
         best = baseline
         for trial in trials:
             if oracle.is_full_fidelity(trial) and trial.loss < best.loss:
@@ -196,10 +204,12 @@ class Tuner:
         self.stats.executed += stats.executed
         self.stats.memory_hits += stats.memory_hits
         self.stats.disk_hits += stats.disk_hits
+        report = getattr(oracle, "surrogate_report", None)
         return TuningResult(app=app, objective=obj, algorithm=algo.name,
                             best=best, baseline=baseline,
                             trials=trials, config=config,
-                            key=key, stats=stats)
+                            key=key, stats=stats,
+                            surrogate=report() if callable(report) else None)
 
 
 def best_threshold(app: str = "sssp", *, variant: str = "grid-level",

@@ -395,6 +395,31 @@ class TestSurrogateOracle:
         values = [t.value for t in trials]
         assert values == sorted(values)
 
+    def test_surrogate_report_warm(self, tmp_path):
+        """The decision trail ``repro tune`` prints: per-rung
+        predicted/simulated counts plus the training-set Spearman."""
+        sim = _FakeSim()
+        oracle = SurrogateOracle(sim, self._warm_log(tmp_path))
+        oracle.evaluate(self.CANDS, factor=0.25)
+        oracle.evaluate(self.CANDS, factor=1.0)
+        rep = oracle.surrogate_report()
+        assert rep["oracle"] == "surrogate"
+        assert rep["predicted"] == 3 and rep["fallbacks"] == 0
+        assert rep["train_rows"] == 24
+        assert rep["spearman"] is not None
+        assert -1.0 <= rep["spearman"] <= 1.0
+        assert [d["mode"] for d in rep["decisions"]] == \
+            ["predicted", "simulated"]
+        assert all(d["candidates"] == 3 for d in rep["decisions"])
+
+    def test_surrogate_report_cold(self, tmp_path):
+        oracle = SurrogateOracle(_FakeSim(),
+                                 TrainingLog(tmp_path / "empty.jsonl"))
+        oracle.evaluate(self.CANDS, factor=0.25)
+        rep = oracle.surrogate_report()
+        assert rep["train_rows"] == 0 and rep["spearman"] is None
+        assert [d["mode"] for d in rep["decisions"]] == ["fallback"]
+
     def test_full_fidelity_always_simulated(self, tmp_path):
         """A prediction must never be eligible as the tuner's winner:
         factor=1.0 (and any rung at or above the sim scale) delegates

@@ -187,6 +187,91 @@ class TestHandshake:
         assert info["device"] == svc.spec.name
 
 
+# -- the metrics op / feature advertisement (PR 8) -----------------------------
+
+class TestMetricsOp:
+    def test_hello_advertises_metrics_feature(self, service):
+        _, sock = service
+        with ServiceClient(socket_path=sock) as client:
+            assert "metrics" in client.server_info["features"]
+            assert client.supports("metrics")
+            assert not client.supports("time-travel")
+
+    def test_metrics_round_trip(self, service):
+        svc, sock = service
+        with ServiceClient(socket_path=sock) as client:
+            client.submit("spmv", "no-dp")
+            resp = client.metrics()
+        assert resp["metrics"] == svc.metrics.snapshot()
+        assert resp["metrics"]["requests"] >= 1
+        registry = resp["registry"]
+        assert registry["service_requests"]["value"] == \
+            resp["metrics"]["requests"]
+        # the daemon-only histograms ride along in the same registry
+        assert registry["service_request_seconds"]["kind"] == "histogram"
+        assert registry["service_batch_size"]["count"] >= 1
+        assert resp["text"].startswith("# HELP")
+        assert "service_requests" in resp["text"]
+
+    def test_async_client_metrics(self, service):
+        _, sock = service
+
+        async def go():
+            client = await AsyncServiceClient.connect(socket_path=sock)
+            try:
+                assert client.supports("metrics")
+                return await client.metrics()
+            finally:
+                await client.close()
+
+        resp = asyncio.run(go())
+        assert resp["metrics"]["connections"] >= 1
+
+    def test_v1_exchange_unchanged_for_old_clients(self, service):
+        """A pre-PR-8 client speaks exactly this: hello + status on
+        protocol 1, never reading ``features``. Both replies must stay
+        well-formed v1 responses."""
+        _, sock = service
+        replies = _raw_exchange(sock, [
+            {"op": "hello", "protocol": PROTOCOL_VERSION},
+            {"op": "status", "id": 1},
+        ], expect=2)
+        assert replies[0]["ok"] is True
+        assert replies[0]["protocol"] == PROTOCOL_VERSION
+        assert replies[1]["ok"] is True
+        assert "metrics" in replies[1]  # the v1 status payload, as ever
+        assert describe_status(replies[1])  # still renders
+
+    def test_new_client_degrades_against_old_daemon(self):
+        """Against a daemon whose hello carries no ``features``, the
+        client must refuse the op with a clear error, not send it."""
+        client = ServiceClient(socket_path="/nonexistent.sock")
+        client._fh = object()  # pretend connected...
+        client.server_info = {"ok": True, "protocol": 1}  # ...pre-PR-8
+        assert not client.supports("metrics")
+        with pytest.raises(ServiceError, match="metrics"):
+            client.metrics()
+
+    def test_daemon_trace_written_on_shutdown(self, tmp_path):
+        import json
+
+        from repro.telemetry import validate_chrome_trace
+
+        trace = tmp_path / "daemon-trace.json"
+        svc, sock, thread = start_service(tmp_path, trace=str(trace))
+        try:
+            with ServiceClient(socket_path=sock) as client:
+                client.submit("spmv", "no-dp")
+        finally:
+            stop_service(sock, thread)
+        with open(trace, encoding="utf-8") as fh:
+            obj = json.load(fh)
+        assert validate_chrome_trace(obj) > 0
+        names = {e["name"] for e in obj["traceEvents"] if e["ph"] == "X"}
+        assert {"service.accept", "service.request",
+                "service.reply"} <= names
+
+
 # -- submit / coalescing / batching --------------------------------------------
 
 class TestSubmit:

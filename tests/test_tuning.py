@@ -203,6 +203,22 @@ class TestTuner:
                                                   space=small_space())
         assert parallel.best == serial.best
 
+    def test_surrogate_report_rides_the_result(self, store):
+        # exact oracles carry no surrogate trail...
+        plain = make_tuner(store).tune("sssp", algorithm="grid",
+                                       space=small_space())
+        assert plain.surrogate is None
+        # ...the surrogate prefilter reports its per-rung decisions
+        res = make_tuner(store, oracle="surrogate").tune(
+            "sssp", algorithm="halving", space=small_space())
+        rep = res.surrogate
+        assert rep is not None and rep["oracle"] == "surrogate"
+        assert rep["decisions"]
+        assert all(d["mode"] in ("predicted", "simulated", "fallback")
+                   for d in rep["decisions"])
+        # the winner always comes from a simulated (full-fidelity) rung
+        assert rep["decisions"][-1]["mode"] == "simulated"
+
     def test_unknown_app_rejected_before_any_simulation(self, store):
         with pytest.raises(KeyError):
             make_tuner(store).tune("nonesuch", space=small_space())
