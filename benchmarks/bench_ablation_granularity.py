@@ -6,7 +6,7 @@ launch/buffer/stall columns show *why* — each strategy's aggregation
 factor against its barrier and allocator price.
 """
 
-from conftest import emit, runner  # noqa: F401
+from conftest import emit, emit_table, runner  # noqa: F401
 
 from repro.experiments import ablation_granularity
 
@@ -17,6 +17,7 @@ def test_granularity_sweep(benchmark, runner):  # noqa: F811
         rounds=1, iterations=1,
     )
     emit("Ablation — consolidation strategy per app", table.render())
+    emit_table("ablation_granularity", table, benchmark)
     assert len(table.rows) == 8  # 7 apps + geomean
     for claim in ablation_granularity.claims(table):
         assert claim.holds, claim.render()

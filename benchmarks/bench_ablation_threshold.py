@@ -1,6 +1,6 @@
 """Ablation bench: the work-delegation threshold of the Fig. 1 template."""
 
-from conftest import SCALE, emit
+from conftest import SCALE, emit, emit_table
 
 from repro.experiments import ablation_threshold
 
@@ -11,4 +11,5 @@ def test_delegation_threshold_sweep(benchmark):
         rounds=1, iterations=1,
     )
     emit("Ablation — delegation threshold (SSSP, grid-level)", table.render())
+    emit_table("ablation_threshold", table, benchmark)
     assert len(table.rows) == len(ablation_threshold.THRESHOLDS)

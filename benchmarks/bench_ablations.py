@@ -8,7 +8,7 @@ that launch serialization dominates, with buffering and synchronization
 overheads second-order; the ablation makes that checkable here.
 """
 
-from conftest import SCALE, emit
+from conftest import SCALE, emit, emit_table
 
 from repro.apps import get_app
 from repro.experiments.reporting import Table
@@ -51,6 +51,8 @@ def test_cost_model_ablations(benchmark):
     for name, speedup in rows:
         table.add(name, speedup)
     emit("Cost-model ablation (basic-dp SSSP)", table.render())
+    emit_table("ablations", table, benchmark,
+               extra={"baseline_cycles": base})
     shares = dict(rows)
     # the launch path must dominate, as §III.B argues
     assert shares["all DP overheads"] > 2.0

@@ -7,6 +7,8 @@ functional engine, timing scheduler).
 
 import numpy as np
 
+from conftest import bench_seconds
+
 from repro.apps import get_app
 from repro.compiler import consolidate_source
 from repro.frontend.parser import parse
@@ -14,22 +16,35 @@ from repro.frontend.typecheck import check_module
 from repro.frontend.unparser import unparse
 from repro.sim.device import Device
 
+#: per-test mean seconds, emitted as BENCH_components.json by the last
+#: test in this module
+_TIMES: dict = {}
+
+
+def _record(name, benchmark):
+    wall = bench_seconds(benchmark)
+    if wall is not None:
+        _TIMES[name] = wall
+
 
 def test_parse_and_check(benchmark):
     src = get_app("sssp").annotated_source()
     info = benchmark(lambda: check_module(parse(src)))
+    _record("parse_and_check_s", benchmark)
     assert info.kernel_names()
 
 
 def test_unparse(benchmark):
     module = parse(get_app("sssp").annotated_source())
     text = benchmark(lambda: unparse(module))
+    _record("unparse_s", benchmark)
     assert "__global__" in text
 
 
 def test_consolidation_transform(benchmark):
     src = get_app("sssp").annotated_source()
     result = benchmark(lambda: consolidate_source(src, granularity="grid"))
+    _record("consolidation_transform_s", benchmark)
     assert result.report.granularity == "grid"
 
 
@@ -54,6 +69,7 @@ def test_functional_engine_throughput(benchmark):
         return dev.synchronize()
 
     metrics = benchmark.pedantic(run, rounds=3, iterations=1)
+    _record("functional_engine_s", benchmark)
     assert metrics.dram_transactions > 0
 
 
@@ -86,4 +102,8 @@ def test_timing_scheduler_throughput(benchmark):
         return DeviceScheduler(K20C, CostModel()).run([parent])
 
     result = benchmark.pedantic(run, rounds=3, iterations=1)
+    _record("timing_scheduler_s", benchmark)
+    from _emit import emit_json
+
+    emit_json("components", dict(_TIMES))
     assert result.max_pending > 0

@@ -1,6 +1,6 @@
 """Fig. 10 bench: DRAM transactions relative to basic-dp."""
 
-from conftest import emit
+from conftest import emit, emit_table
 
 from repro.experiments import fig10_dram
 
@@ -12,6 +12,7 @@ def test_fig10_dram_transactions(benchmark, runner):
     claims = fig10_dram.claims(table)
     emit("Figure 10 — DRAM transactions ratio",
          table.render() + "\n" + "\n".join(c.render() for c in claims))
+    emit_table("fig10_dram", table, benchmark)
     geo = table.rows[-1]
     # all granularities reduce traffic on (geometric) average
     assert all(v < 1.0 for v in geo[1:])

@@ -3,7 +3,7 @@
 Regenerates the paper's allocator comparison and times the full harness.
 """
 
-from conftest import emit
+from conftest import emit, emit_table
 
 from repro.experiments import fig5_allocators
 
@@ -15,4 +15,5 @@ def test_fig5_allocators(benchmark, runner):
     claims = fig5_allocators.claims(table, runner)
     emit("Figure 5 — buffer allocators (SSSP)",
          table.render() + "\n" + "\n".join(c.render() for c in claims))
+    emit_table("fig5_allocators", table, benchmark)
     assert len(table.rows) == 3

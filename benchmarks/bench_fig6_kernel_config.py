@@ -1,6 +1,6 @@
 """Fig. 6 bench: consolidated-kernel configuration selection on TD."""
 
-from conftest import emit
+from conftest import emit, emit_table
 
 from repro.experiments import fig6_kernel_config
 
@@ -13,4 +13,5 @@ def test_fig6_kernel_config(benchmark, runner):
     claims = fig6_kernel_config.claims(table)
     emit("Figure 6 — kernel configurations (Tree Descendants)",
          table.render() + "\n" + "\n".join(c.render() for c in claims))
+    emit_table("fig6_kernel_config", table, benchmark)
     assert len(table.rows) == 6  # 2 datasets x 3 granularities

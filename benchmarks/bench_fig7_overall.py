@@ -1,6 +1,6 @@
 """Fig. 7 bench: overall speedup of every variant over basic-dp."""
 
-from conftest import emit
+from conftest import emit, emit_table
 
 from repro.experiments import fig7_overall
 
@@ -12,6 +12,7 @@ def test_fig7_overall_speedup(benchmark, runner):
     claims = fig7_overall.claims(table)
     emit("Figure 7 — overall speedup over basic-dp",
          table.render() + "\n" + "\n".join(c.render() for c in claims))
+    emit_table("fig7_overall", table, benchmark)
     # 7 apps + geomean row
     assert len(table.rows) == 8
     # headline shape: every variant beats basic-dp on every app

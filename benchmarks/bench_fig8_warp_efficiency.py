@@ -1,6 +1,6 @@
 """Fig. 8 bench: warp execution efficiency + child-launch counts."""
 
-from conftest import emit
+from conftest import emit, emit_table
 
 from repro.experiments import fig8_warp_efficiency
 
@@ -12,4 +12,5 @@ def test_fig8_warp_efficiency(benchmark, runner):
     claims = fig8_warp_efficiency.claims(runner)
     emit("Figure 8 — warp execution efficiency",
          table.render() + "\n" + "\n".join(c.render() for c in claims))
+    emit_table("fig8_warp_efficiency", table, benchmark)
     assert len(table.rows) == 8

@@ -1,6 +1,6 @@
 """Fig. 9 bench: achieved SMX occupancy."""
 
-from conftest import emit
+from conftest import emit, emit_table
 
 from repro.experiments import fig9_occupancy
 
@@ -12,4 +12,5 @@ def test_fig9_occupancy(benchmark, runner):
     claims = fig9_occupancy.claims(runner)
     emit("Figure 9 — achieved SMX occupancy",
          table.render() + "\n" + "\n".join(c.render() for c in claims))
+    emit_table("fig9_occupancy", table, benchmark)
     assert len(table.rows) == 8

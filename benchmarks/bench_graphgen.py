@@ -13,12 +13,24 @@ Run: ``PYTHONPATH=src python -m pytest benchmarks/bench_graphgen.py``.
 
 import numpy as np
 
+from conftest import bench_seconds
+
 from repro.data.graphgen import kron_like
 from repro.data.structures import Graph
 from repro.workloads import materialize
 
 #: large enough that the floor/cap stages dominate; small enough for CI
 BENCH_SCALE = 8.0
+
+#: per-test mean seconds, gathered across this module's benchmarks and
+#: emitted as one BENCH_graphgen.json envelope by the last test
+_TIMES: dict = {}
+
+
+def _record(name, benchmark):
+    wall = bench_seconds(benchmark)
+    if wall is not None:
+        _TIMES[name] = wall
 
 
 def _kron_like_loops(scale: float = 1.0, seed: int = 2) -> Graph:
@@ -87,11 +99,13 @@ def _kron_like_loops(scale: float = 1.0, seed: int = 2) -> Graph:
 
 def test_kron_like_vectorized(benchmark):
     g = benchmark(lambda: kron_like(BENCH_SCALE))
+    _record("kron_like_vectorized_s", benchmark)
     assert g.degrees.min() >= 1 and g.degrees.max() <= 1023
 
 
 def test_kron_like_loop_reference(benchmark):
     g = benchmark(lambda: _kron_like_loops(BENCH_SCALE))
+    _record("kron_like_loops_s", benchmark)
     assert g.degrees.max() <= 1023
 
 
@@ -113,4 +127,13 @@ def test_workload_materialization_sweep(benchmark):
         return [materialize(name, 1.0) for name in names]
 
     graphs = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    _record("materialization_sweep_s", benchmark)
+    from _emit import emit_json
+
+    payload = {"bench_scale": BENCH_SCALE, **_TIMES}
+    fast, slow = (_TIMES.get("kron_like_vectorized_s"),
+                  _TIMES.get("kron_like_loops_s"))
+    if fast and slow:
+        payload["vectorization_speedup"] = slow / fast
+    emit_json("graphgen", payload)
     assert all(g.num_edges > 0 for g in graphs)

@@ -7,7 +7,7 @@ with the input (the Olabi et al. observation the subsystem exists to
 measure).
 """
 
-from conftest import emit, runner  # noqa: F401
+from conftest import emit, emit_table, runner  # noqa: F401
 
 from repro.experiments import input_sensitivity
 
@@ -20,6 +20,7 @@ def test_input_sensitivity_sweep(benchmark, runner):  # noqa: F811
     claims = input_sensitivity.claims(table)
     emit("Input sensitivity — strategy x workload per app",
          table.render() + "\n" + "\n".join(c.render() for c in claims))
+    emit_table("input_sensitivity", table, benchmark)
     # every app sweeps its default plus at least one adversarial input
     apps = {row[0] for row in table.rows}
     assert len(apps) == 7

@@ -9,7 +9,7 @@ paper-default configurations in particular — come from cache.
 
 import os
 
-from conftest import SCALE, emit
+from conftest import SCALE, emit, emit_table
 
 from repro.experiments import ResultStore, tuned_vs_paper
 from repro.apps import all_apps
@@ -28,6 +28,7 @@ def test_tuned_vs_paper(benchmark):
         rounds=1, iterations=1,
     )
     emit("Tuned configuration vs paper defaults", table.render())
+    emit_table("tuned", table, benchmark)
     assert len(table.rows) == len(all_apps()) + 1  # + geomean row
     gains = table.column("gain (x)")[:-1]
     assert all(g >= 1.0 for g in gains)

@@ -39,3 +39,43 @@ def emit(title: str, text: str) -> None:
     """Print a regenerated figure underneath the benchmark output."""
     bar = "=" * 72
     print(f"\n{bar}\n{title} (dataset scale x{SCALE})\n{bar}\n{text}\n")
+
+
+def bench_seconds(benchmark):
+    """Mean per-round seconds from pytest-benchmark, once it has run."""
+    try:
+        return float(benchmark.stats.stats.mean)
+    except AttributeError:
+        return None
+
+
+def emit_table(name: str, table, benchmark=None, extra: dict = None):
+    """Machine-readable companion to :func:`emit`: flatten a reporting
+    Table's numeric cells into the ``BENCH_<name>.json`` envelope
+    (:mod:`_emit`), which ``repro perf ingest`` records in the ledger.
+
+    Row labels come from the non-numeric leading cells (figure tables
+    key rows by app/dataset/strategy), numeric cells keep their column
+    header as the metric name.
+    """
+    from _emit import emit_json
+
+    cells: dict = {}
+    for row in table.rows:
+        label_parts = []
+        values = {}
+        for col, value in zip(table.columns, row):
+            if isinstance(value, (int, float)) and not isinstance(value,
+                                                                  bool):
+                values[str(col)] = value
+            else:
+                label_parts.append(str(value))
+        label = " / ".join(label_parts) if label_parts else str(row[0])
+        cells.setdefault(label, {}).update(values)
+    payload = {"scale": SCALE, "cells": cells}
+    wall = bench_seconds(benchmark) if benchmark is not None else None
+    if wall is not None:
+        payload["wall_s"] = wall
+    if extra:
+        payload.update(extra)
+    return emit_json(name, payload)

@@ -239,9 +239,11 @@ class App(abc.ABC):
         from ..run_config import RunConfig
 
         trace_path = None
+        profile_path = None
         if isinstance(variant, RunConfig):
             cfg = variant
             trace_path = cfg.trace
+            profile_path = cfg.profile
             clashing = [name for name, value in (
                 ("threshold", threshold), ("strategy", strategy),
                 ("backend", backend), ("oracle", oracle),
@@ -283,6 +285,7 @@ class App(abc.ABC):
         from contextlib import ExitStack
 
         tracer = None
+        collector = None
         with ExitStack() as stack:
             if trace_path is not None:
                 # RunConfig(trace=...): a run-scoped tracer, written out
@@ -294,6 +297,13 @@ class App(abc.ABC):
                 stack.enter_context(tracing(tracer))
                 stack.enter_context(span("app.run", app=self.key,
                                          variant=variant))
+            if profile_path is not None:
+                # RunConfig(profile=...): same never-perturb contract as
+                # trace — the collector only observes the engines, and
+                # the profile is written after the run completes.
+                from ..perf import profiling
+
+                collector = stack.enter_context(profiling())
             original_threshold = self.threshold
             if threshold is not None:
                 self.threshold = threshold
@@ -332,6 +342,11 @@ class App(abc.ABC):
             from ..telemetry import write_chrome_trace
 
             write_chrome_trace(trace_path, tracer)
+        if collector is not None:
+            from ..perf.report import build_profile, write_profile
+
+            write_profile(profile_path, build_profile(
+                collector, label=f"{self.key} {variant}"))
         return AppRun(
             app=self.key, variant=variant,
             dataset=getattr(dataset, "name", str(dataset)),

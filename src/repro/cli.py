@@ -23,6 +23,10 @@
     repro status                    # daemon metrics (dedup/batch/cache)
     repro status --metrics          # full telemetry registry (Prometheus)
     repro trace sssp consolidated   # profile one run, write a Chrome trace
+    repro profile sssp consolidated # deep-profile: per-kernel attribution
+    repro perf ingest out/          # record bench envelopes in the ledger
+    repro perf history|diff         # perf trajectory / baseline deltas
+    repro perf check                # CI gate: nonzero exit on regressions
     repro shutdown                  # drain the daemon and stop it
     repro cache info|clear          # inspect/clear the on-disk caches
 
@@ -198,6 +202,57 @@ def main(argv=None) -> int:
     p.add_argument("--tree", action="store_true",
                    help="also print the nested span tree")
     _add_scale(p)
+    _add_cache(p)
+
+    p = sub.add_parser(
+        "profile",
+        help="deep-profile one run on the simulated GPU: per-kernel "
+             "attribution (cycles, warp efficiency, DRAM, buffer "
+             "contention), hotspot ranking, occupancy timeline")
+    p.add_argument("app")
+    p.add_argument("variant",
+                   help="basic-dp | no-dp | warp-level | block-level | "
+                        "grid-level | consolidated | tuned")
+    p.add_argument("--allocator", default="custom",
+                   choices=["default", "halloc", "custom"])
+    p.add_argument("--strategy", default=None,
+                   choices=list(available_strategies()))
+    _add_threshold(p)
+    p.add_argument("--workload", default=None, metavar="REF",
+                   help="registered workload to run on")
+    p.add_argument("--top", type=int, default=0, metavar="N",
+                   help="show only the N busiest kernels (default: all)")
+    p.add_argument("--occupancy", action="store_true",
+                   help="also print the ASCII occupancy timeline")
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="also write the full profile as JSON to PATH")
+    p.add_argument("--trace", default=None, metavar="PATH",
+                   help="also write the kernel timeline + occupancy track "
+                        "as Chrome trace-event JSON (cycle timestamps; "
+                        "open in ui.perfetto.dev)")
+    _add_scale(p)
+    _add_cache(p)
+
+    p = sub.add_parser(
+        "perf",
+        help="the performance ledger: ingest bench envelopes, show "
+             "history, diff against baselines, gate regressions")
+    p.add_argument("action", choices=["ingest", "history", "diff", "check"])
+    p.add_argument("paths", nargs="*", metavar="PATH",
+                   help="ingest: BENCH_*.json files or directories "
+                        "holding them (default: the current directory)")
+    p.add_argument("--ledger", default=None, metavar="PATH",
+                   help="ledger file (default: <cache-dir>/perf-ledger.jsonl)")
+    p.add_argument("--bench", default=None, metavar="NAME",
+                   help="history: restrict to one bench")
+    p.add_argument("--cell", default=None, metavar="SUBSTR",
+                   help="history: restrict to cells containing SUBSTR")
+    p.add_argument("--threshold", type=float, default=None, metavar="F",
+                   help="check: relative worsening that fails the gate "
+                        "(default 0.10)")
+    p.add_argument("--noise-floor", type=float, default=None, metavar="F",
+                   help="diff/check: ignore relative changes at or below "
+                        "this (default 0.02)")
     _add_cache(p)
 
     p = sub.add_parser("compile", help="print consolidated CUDA for an app")
@@ -571,6 +626,115 @@ def main(argv=None) -> int:
         print(f"[chrome trace -> {path}]")
         return 0
 
+    if args.command == "profile":
+        from .apps import get_app
+        from .experiments import ExperimentRunner, RunSpec
+        from .perf import profiling
+        from .perf.report import (build_profile, render_occupancy,
+                                  render_profile, write_profile,
+                                  write_profile_trace)
+        from .tuning import TunedConfigRegistry, default_tuned_path
+
+        runner = ExperimentRunner(
+            scale=args.scale, verify=not args.no_verify,
+            tuned=TunedConfigRegistry(default_tuned_path(args.cache_dir)))
+        spec = RunSpec(app=args.app, variant=args.variant,
+                       allocator=args.allocator, threshold=args.threshold,
+                       strategy=args.strategy, workload=args.workload)
+        try:
+            app = get_app(args.app)
+            with profiling() as collector:
+                run = runner.run_spec(spec)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        except (KeyError, RuntimeError) as exc:
+            message = exc.args[0] if exc.args else exc
+            print(f"error: {message}", file=sys.stderr)
+            return 2
+        label = run.variant if run.strategy is None else \
+            f"{run.variant}:{run.strategy}"
+        profile = build_profile(collector, label=f"{args.app} {label}")
+        print(f"{app.label} [{label}] on {run.dataset} "
+              f"(verified={run.checked})")
+        print()
+        print(render_profile(profile, top=args.top))
+        if args.occupancy:
+            print()
+            print(render_occupancy(profile))
+        if args.json:
+            print(f"[profile json -> {write_profile(args.json, profile)}]")
+        if args.trace:
+            print(f"[chrome trace -> "
+                  f"{write_profile_trace(args.trace, profile)}]")
+        return 0
+
+    if args.command == "perf":
+        from .perf.ledger import (DEFAULT_NOISE_FLOOR, DEFAULT_THRESHOLD,
+                                  PerfLedger, default_ledger_path)
+
+        ledger = PerfLedger(args.ledger or
+                            default_ledger_path(args.cache_dir))
+        noise = (args.noise_floor if args.noise_floor is not None
+                 else DEFAULT_NOISE_FLOOR)
+        if args.action == "ingest":
+            import os as _os
+
+            total = 0
+            targets = args.paths or ["."]
+            try:
+                for target in targets:
+                    if _os.path.isdir(target):
+                        results = ledger.ingest_dir(target)
+                    else:
+                        results = [ledger.ingest_file(target)]
+                    for bench, n in results:
+                        state = f"{n} cells" if n else "already ingested"
+                        print(f"  {bench:24s} {state}")
+                        total += n
+            except (OSError, ValueError) as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            print(f"[{total} records appended -> {ledger.path}]")
+            return 0
+        if args.action == "history":
+            records = ledger.history(bench=args.bench, cell=args.cell)
+            if not records:
+                print("(no matching ledger records)")
+                return 0
+            for rec in records:
+                print(f"{rec['bench']:24s} {rec['cell']:44s} "
+                      f"{rec['value']:>14g}  [{rec['sha']}]")
+            print(f"[{len(records)} records in {ledger.path}]")
+            return 0
+        if args.action == "diff":
+            deltas = ledger.diff(noise_floor=noise)
+            if not deltas:
+                print("(no deltas beyond the noise floor — ledger has "
+                      "fewer than two distinct ingests per cell, or "
+                      "nothing moved)")
+                return 0
+            for delta in deltas:
+                print("  " + delta.describe())
+            print(f"[{len(deltas)} deltas beyond {noise:.0%} noise floor]")
+            return 0
+        # check: the regression gate
+        threshold = (args.threshold if args.threshold is not None
+                     else DEFAULT_THRESHOLD)
+        regressions, other = ledger.check(threshold=threshold,
+                                          noise_floor=noise)
+        for delta in other:
+            print("  " + delta.describe())
+        if regressions:
+            print(f"FAIL: {len(regressions)} cell(s) regressed beyond "
+                  f"{threshold:.0%}:", file=sys.stderr)
+            for delta in regressions:
+                print("  " + delta.describe(), file=sys.stderr)
+            return 1
+        print(f"OK: no regressions beyond {threshold:.0%} "
+              f"({len(other)} non-regressing deltas, ledger {ledger.path})")
+        return 0
+
     if args.command == "tune":
         from .tuning import Tuner, TunedConfigRegistry, default_tuned_path
 
@@ -622,6 +786,11 @@ def main(argv=None) -> int:
             print(f"[surrogate rungs: {rungs}; trained on "
                   f"{rep.get('train_rows', 0)} logged rows, "
                   f"Spearman rho {rho_text}]")
+            from .tuning import weak_surrogate_warning
+
+            caution = weak_surrogate_warning(rep)
+            if caution:
+                print(f"warning: {caution}", file=sys.stderr)
         where = (f"via {service.endpoint}" if service is not None
                  else f"--jobs {args.jobs}")
         print(f"[tuning: {result.evaluations} evaluations "

@@ -1,0 +1,32 @@
+"""repro.perf — simulated-GPU deep profiler and performance ledger.
+
+Two halves:
+
+- **Deep profiler** (:mod:`.collect`, :mod:`.report`): activate a
+  :class:`ProfileCollector` with the :func:`profiling` context manager,
+  run any sim workload, then :func:`~repro.perf.report.build_profile`
+  turns what the engines recorded into a per-kernel attribution table,
+  hotspot ranking, occupancy timeline and Chrome-trace export. Purely
+  observational: profiled runs produce bitwise-identical
+  :class:`~repro.sim.profiler.RunMetrics` and identical cache keys.
+
+- **Perf ledger** (:mod:`.ledger`): content-keyed JSONL history of every
+  bench envelope, with baseline-vs-current deltas and the
+  ``repro perf check`` regression gate.
+
+Only the collection layer is imported here: :mod:`repro.sim.device`
+reads :func:`active_collector` at Device construction, so this package
+must not import the sim back (``report`` does, for timeline capture —
+import it explicitly).
+"""
+
+from .collect import (InstanceProfile, ProfileCollector, ProfileSegment,
+                      active_collector, profiling)
+
+__all__ = [
+    "InstanceProfile",
+    "ProfileCollector",
+    "ProfileSegment",
+    "active_collector",
+    "profiling",
+]

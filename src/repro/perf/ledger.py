@@ -1,0 +1,309 @@
+"""Append-only performance ledger: the repo's perf trajectory on disk.
+
+Every bench emits a ``BENCH_<name>.json`` envelope (:mod:`benchmarks/_emit`);
+this module ingests those envelopes into a content-keyed JSONL ledger
+living beside the result store (``<cache-dir>/perf-ledger.jsonl``), one
+record per numeric cell::
+
+    {"bench": "fig7_overall", "cell": "speedups.sssp.grid-level",
+     "value": 2.07, "sha": "288d2f4", "ts": 1754630000.0,
+     "version": "...", "envelope_sha": "ab12..."}
+
+Content keying makes ingestion idempotent: the envelope's canonical
+JSON is hashed, and an envelope whose hash the ledger already holds is
+skipped — re-running ``repro perf ingest`` over the same artifacts never
+duplicates history. ``repro perf diff`` compares each cell's newest
+value against its most recent *differently-keyed* predecessor, with a
+noise floor below which changes are ignored, and ``repro perf check``
+exits nonzero when a cell moved in its *bad* direction beyond the
+threshold — the CI regression gate.
+
+Cell direction is inferred from the metric name (``speedup``/``jobs_per_s``
+up, ``wall_s``/``cycles``/``dram`` down); unrecognized cells are reported
+but never gated, so a new bench can't fail CI until its cells are named
+recognizably. Everything here is stdlib-only and import-light (the
+cache-dir helper loads lazily) so the CLI can ingest without dragging
+the sim in.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import subprocess
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Optional
+
+#: record schema version (bump on shape changes; readers skip unknown)
+LEDGER_FORMAT = 1
+
+#: overrides `git rev-parse` for the recorded commit id (CI sets it)
+GIT_SHA_ENV = "REPRO_GIT_SHA"
+
+#: ledger filename, beside the ResultStore shards
+LEDGER_NAME = "perf-ledger.jsonl"
+
+#: default gate: relative worsening beyond this fails `repro perf check`
+DEFAULT_THRESHOLD = 0.10
+#: relative changes at or below this are noise, never reported as deltas
+DEFAULT_NOISE_FLOOR = 0.02
+
+#: name fragments marking a cell where bigger is better — checked first,
+#: so `cache_hit_rate` lands on "higher" before "_rate" could mislead
+_HIGHER = ("speedup", "per_s", "throughput", "jobs", "gain", "efficien",
+           "occupancy", "hit_rate", "rho", "coverage", "dedup")
+#: fragments marking a cell where smaller is better
+_LOWER = ("wall", "second", "latency", "_ms", "_s", "p50", "p95", "p99",
+          "cycle", "dram", "transaction", "miss", "stall", "overhead",
+          "dropped", "bytes", "time", "evaluation", "simulation")
+
+
+def cell_direction(cell: str) -> Optional[str]:
+    """'higher' | 'lower' | None (unknown: reported, never gated)."""
+    name = cell.lower()
+    for frag in _HIGHER:
+        if frag in name:
+            return "higher"
+    for frag in _LOWER:
+        if frag in name:
+            return "lower"
+    return None
+
+
+def git_sha() -> str:
+    """The commit id to stamp records with ($REPRO_GIT_SHA, else git)."""
+    sha = os.environ.get(GIT_SHA_ENV)
+    if sha:
+        return sha
+    try:
+        proc = subprocess.run(["git", "rev-parse", "--short", "HEAD"],
+                              capture_output=True, text=True, timeout=10)
+        if proc.returncode == 0 and proc.stdout.strip():
+            return proc.stdout.strip()
+    except OSError:
+        pass
+    return "unknown"
+
+
+def default_ledger_path(cache_dir=None) -> Path:
+    from ..experiments.store import default_cache_dir
+
+    root = Path(cache_dir) if cache_dir else default_cache_dir()
+    return root / LEDGER_NAME
+
+
+def flatten_payload(payload, prefix: str = "") -> dict:
+    """Numeric leaves of a nested payload as '.'-joined cells.
+
+    Booleans and strings are skipped (they are labels, not measurements);
+    lists index their elements so positional series stay diffable.
+    """
+    out: dict = {}
+    if isinstance(payload, dict):
+        for key in sorted(payload):
+            sub = flatten_payload(payload[key],
+                                  f"{prefix}.{key}" if prefix else str(key))
+            out.update(sub)
+    elif isinstance(payload, (list, tuple)):
+        for i, item in enumerate(payload):
+            out.update(flatten_payload(item, f"{prefix}.{i}"))
+    elif isinstance(payload, bool):
+        pass
+    elif isinstance(payload, (int, float)):
+        if prefix:
+            out[prefix] = float(payload)
+    return out
+
+
+def envelope_sha(envelope: dict) -> str:
+    """Content key of one bench envelope (canonical-JSON sha256)."""
+    canonical = json.dumps(envelope, sort_keys=True, separators=(",", ":"),
+                           default=str)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass
+class Delta:
+    """One cell's newest value against its previous distinct ingest."""
+
+    bench: str
+    cell: str
+    baseline: float
+    current: float
+    direction: Optional[str]
+    baseline_sha: str
+    current_sha: str
+
+    @property
+    def change(self) -> float:
+        """Signed relative change vs baseline (0.1 = +10%)."""
+        return (self.current - self.baseline) / self.baseline
+
+    @property
+    def worsening(self) -> Optional[float]:
+        """Relative move in the cell's *bad* direction (None: unknown
+        direction, never gated)."""
+        if self.direction == "higher":
+            return -self.change
+        if self.direction == "lower":
+            return self.change
+        return None
+
+    def describe(self) -> str:
+        arrow = {"higher": "(higher is better)",
+                 "lower": "(lower is better)",
+                 None: "(direction unknown, not gated)"}[self.direction]
+        return (f"{self.bench}:{self.cell} {self.baseline:g} -> "
+                f"{self.current:g} ({self.change:+.1%}) {arrow} "
+                f"[{self.baseline_sha} -> {self.current_sha}]")
+
+
+class PerfLedger:
+    """The JSONL ledger: atomic appends, idempotent envelope ingestion,
+    baseline-vs-current deltas and the regression gate."""
+
+    def __init__(self, path):
+        self.path = Path(path)
+
+    # ------------------------------------------------------------- reading
+
+    def records(self) -> list[dict]:
+        if not self.path.exists():
+            return []
+        out = []
+        with open(self.path, encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    rec = json.loads(line)
+                except ValueError:
+                    continue  # torn/foreign line: skip, never crash perf CLI
+                if isinstance(rec, dict) and rec.get("format") == LEDGER_FORMAT:
+                    out.append(rec)
+        return out
+
+    def known_envelopes(self) -> set:
+        return {rec.get("envelope_sha") for rec in self.records()}
+
+    def __len__(self) -> int:
+        return len(self.records())
+
+    # ------------------------------------------------------------ ingestion
+
+    def ingest_envelope(self, envelope: dict, sha: Optional[str] = None,
+                        ts: Optional[float] = None) -> int:
+        """Append one bench envelope's numeric cells; returns the number
+        of records written (0 when this exact envelope is already in —
+        ingestion is idempotent by content key)."""
+        if not isinstance(envelope, dict) or "bench" not in envelope \
+                or "payload" not in envelope:
+            raise ValueError("not a bench envelope (needs bench + payload); "
+                             "benches emit these via benchmarks/_emit.py")
+        key = envelope_sha(envelope)
+        if key in self.known_envelopes():
+            return 0
+        cells = flatten_payload(envelope["payload"])
+        if not cells:
+            return 0
+        sha = sha if sha is not None else git_sha()
+        ts = ts if ts is not None else time.time()
+        lines = []
+        for cell, value in sorted(cells.items()):
+            lines.append(json.dumps({
+                "format": LEDGER_FORMAT,
+                "bench": envelope["bench"],
+                "cell": cell,
+                "value": value,
+                "sha": sha,
+                "ts": ts,
+                "version": envelope.get("version", "unknown"),
+                "envelope_sha": key,
+            }, sort_keys=True))
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        # a crashed writer can leave a newline-less tail; start a fresh
+        # line so its torn record stays isolated instead of swallowing ours
+        prefix = ""
+        if self.path.exists() and self.path.stat().st_size:
+            with open(self.path, "rb") as fh:
+                fh.seek(-1, os.SEEK_END)
+                if fh.read(1) != b"\n":
+                    prefix = "\n"
+        # one write + flush: concurrent ingests may interleave envelopes
+        # but never tear a line (O_APPEND semantics)
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(prefix + "\n".join(lines) + "\n")
+            fh.flush()
+        return len(lines)
+
+    def ingest_file(self, path) -> tuple[str, int]:
+        with open(path, encoding="utf-8") as fh:
+            envelope = json.load(fh)
+        n = self.ingest_envelope(envelope)
+        return envelope.get("bench", "?"), n
+
+    def ingest_dir(self, directory,
+                   pattern: str = "BENCH_*.json") -> list[tuple[str, int]]:
+        out = []
+        for path in sorted(Path(directory).glob(pattern)):
+            out.append(self.ingest_file(path))
+        return out
+
+    # -------------------------------------------------------------- history
+
+    def history(self, bench: Optional[str] = None,
+                cell: Optional[str] = None) -> list[dict]:
+        """Records in append order, optionally filtered."""
+        return [rec for rec in self.records()
+                if (bench is None or rec["bench"] == bench)
+                and (cell is None or cell in rec["cell"])]
+
+    def series(self) -> dict:
+        """(bench, cell) -> records in append order."""
+        out: dict = {}
+        for rec in self.records():
+            out.setdefault((rec["bench"], rec["cell"]), []).append(rec)
+        return out
+
+    # ---------------------------------------------------------------- diffs
+
+    def diff(self, noise_floor: float = DEFAULT_NOISE_FLOOR) -> list[Delta]:
+        """Each cell's newest value vs its last differently-keyed
+        predecessor, changes at or below the noise floor dropped."""
+        deltas = []
+        for (bench, cell), recs in sorted(self.series().items()):
+            current = recs[-1]
+            baseline = next(
+                (rec for rec in reversed(recs[:-1])
+                 if rec["envelope_sha"] != current["envelope_sha"]), None)
+            if baseline is None or baseline["value"] == 0:
+                continue
+            delta = Delta(bench=bench, cell=cell,
+                          baseline=float(baseline["value"]),
+                          current=float(current["value"]),
+                          direction=cell_direction(cell),
+                          baseline_sha=baseline.get("sha", "?"),
+                          current_sha=current.get("sha", "?"))
+            if abs(delta.change) <= noise_floor:
+                continue
+            deltas.append(delta)
+        return deltas
+
+    def check(self, threshold: float = DEFAULT_THRESHOLD,
+              noise_floor: float = DEFAULT_NOISE_FLOOR
+              ) -> tuple[list[Delta], list[Delta]]:
+        """(regressions, improvements-or-informational) beyond the noise
+        floor. A cell regresses when it moved in its bad direction by
+        more than ``threshold``; unknown-direction cells never regress."""
+        regressions, other = [], []
+        for delta in self.diff(noise_floor=noise_floor):
+            worsening = delta.worsening
+            if worsening is not None and worsening > threshold:
+                regressions.append(delta)
+            else:
+                other.append(delta)
+        return regressions, other

@@ -62,6 +62,12 @@ class RunConfig:
     #: differing only in ``trace`` share one cache entry and telemetry
     #: can never perturb a cache key.
     trace: Optional[str] = field(default=None, compare=False)
+    #: deep-profiling hook, same contract as ``trace``: a path to write
+    #: the per-kernel attribution profile of this run to as JSON
+    #: (:mod:`repro.perf`). Structurally excluded from identity, so a
+    #: profiled run shares its cache entry with the plain run and its
+    #: ``RunMetrics`` are regression-tested bitwise identical.
+    profile: Optional[str] = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         variant, strategy = canonicalize_variant(self.variant, self.strategy)
@@ -82,6 +88,10 @@ class RunConfig:
             import os
 
             object.__setattr__(self, "trace", os.fspath(self.trace))
+        if self.profile is not None:
+            import os
+
+            object.__setattr__(self, "profile", os.fspath(self.profile))
 
     def describe(self) -> str:
         """Compact one-line spelling (CLI/report output)."""
@@ -101,7 +111,8 @@ class RunConfig:
         """The axes as a plain dict (wire formats, logging).
 
         Only identity axes (``compare=True`` fields) appear: ``trace``
-        is a profiling hook, not part of what the run *is*.
+        and ``profile`` are observability hooks, not part of what the
+        run *is*.
         """
         return {f.name: getattr(self, f.name) for f in fields(self)
                 if f.compare}

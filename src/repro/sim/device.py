@@ -27,6 +27,7 @@ from ..errors import LaunchError, SimulationError
 from ..frontend.ast_nodes import Module
 from ..frontend.parser import parse
 from ..frontend.typecheck import ModuleInfo, check_module
+from ..perf.collect import active_collector
 from ..telemetry import span
 from .cache import MemorySystem
 from .dp import DPRuntime
@@ -104,6 +105,15 @@ class Device:
             on_launch=self._on_device_launch,
             **extra,
         )
+        # deep profiling (repro.perf): a collector bound via
+        # ``profiling()`` when this device is constructed attaches to
+        # the engine and DP runtime. Observational only — the engines
+        # skip every hook when it is None, and nothing it records feeds
+        # back into pricing, so metrics stay bitwise identical.
+        self.profiler = active_collector()
+        if self.profiler is not None:
+            self.engine.profiler = self.profiler
+            self.dp.profiler = self.profiler
         self._uid = 0
         self._roots: list[KernelInstance] = []
         self._all_roots: list[KernelInstance] = []
@@ -212,6 +222,9 @@ class Device:
             timing = scheduler.run(self._roots)
             metrics = collect_metrics(self._roots, timing, self.memsys,
                                       self.dp.stats, self.allocator)
+        if self.profiler is not None:
+            self.profiler.finalize(list(self._roots), metrics,
+                                   self.spec, self.cost)
         self.last_metrics = metrics
         self._roots = []
         return metrics

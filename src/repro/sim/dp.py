@@ -90,6 +90,11 @@ class DPRuntime:
         self._barrier_counters: dict[int, int] = {}
         self._next_handle = 1
         self.stats = DPStats()
+        #: deep-profiling collector (:mod:`repro.perf.collect`); wired by
+        #: the Device when profiling is active, else None. Observational
+        #: only: it receives the cycle prices computed above, after the
+        #: fact, and never alters them.
+        self.profiler = None
 
     # ------------------------------------------------------------ buffers
 
@@ -126,6 +131,8 @@ class DPRuntime:
         scope = GRAN_NAMES[gran]
         self.stats.buffers_by_scope[scope] = \
             self.stats.buffers_by_scope.get(scope, 0) + 1
+        if self.profiler is not None:
+            self.profiler.record_acquire(scope, cycles)
         return handle, cycles
 
     def _push_conflict(self, gran: int) -> int:
@@ -173,6 +180,8 @@ class DPRuntime:
         addr1 = buf.storage.addr_of(base + buf.nvars - 1) + _ITEM_BYTES - 1
         segments = set(range(addr0 // seg_bytes, addr1 // seg_bytes + 1))
         cycles += self.memsys.access_segments(segments)
+        if self.profiler is not None:
+            self.profiler.record_push(scope, 1, cycles)
         return slot, cycles
 
     # ------------------------------------------------- batched entry points
@@ -235,6 +244,8 @@ class DPRuntime:
                     counters.l2_misses += 1
                     counters.dram_transactions += 1
                     total += miss_cycles
+        if self.profiler is not None:
+            self.profiler.record_push(scope, k, total)
         return list(range(slot0, slot0 + k)), total
 
     def get_many(self, handle: int, slots: list, flds: list):
@@ -267,6 +278,8 @@ class DPRuntime:
                 counters.l2_misses += 1
                 counters.dram_transactions += 1
                 total += miss_cycles
+        if self.profiler is not None:
+            self.profiler.record_pop(len(values), total)
         return values, total
 
     def size_many(self, handle: int, k: int):
@@ -309,6 +322,8 @@ class DPRuntime:
         value = int(buf.storage.data[slot * buf.nvars + fld])
         seg = buf.storage.addr_of(slot * buf.nvars + fld) // self.spec.dram_segment_bytes
         cycles = self.memsys.access_segments({seg})
+        if self.profiler is not None:
+            self.profiler.record_pop(1, cycles)
         return value, cycles
 
     def reset(self, handle: int) -> tuple[None, int]:

@@ -135,6 +135,11 @@ class FunctionalEngine:
         self.on_launch = on_launch
         #: per-run cap on functionally executed kernel instances
         self.max_instances = 2_000_000
+        #: deep-profiling collector (:mod:`repro.perf.collect`); wired by
+        #: the Device when profiling is active, else None. Purely
+        #: observational — it records counter deltas the engine already
+        #: computed and never feeds back into pricing.
+        self.profiler = None
 
     # ------------------------------------------------------------------ API
 
@@ -189,13 +194,23 @@ class FunctionalEngine:
                 f"kernel {inst.name}: block of {inst.block_dim} threads exceeds "
                 f"device limit {self.spec.max_threads_per_block}"
             )
-        for bx in range(inst.grid):
-            trace, leftover = self._run_block(inst, fn, bx)
-            inst.blocks.append(trace)
-            # children not consumed by an explicit device-sync join the
-            # FIFO queue (implicit join at parent end still holds for the
-            # *timing* model via the instance tree)
-            queue.extend(leftover)
+        prof = self.profiler
+        if prof is not None:
+            # devsync children execute inside this bracket (via
+            # _consume_devsync -> _run_tree), so the stack nests and
+            # their rounds attribute to the child, not the parent
+            prof.enter(inst)
+        try:
+            for bx in range(inst.grid):
+                trace, leftover = self._run_block(inst, fn, bx)
+                inst.blocks.append(trace)
+                # children not consumed by an explicit device-sync join the
+                # FIFO queue (implicit join at parent end still holds for the
+                # *timing* model via the instance tree)
+                queue.extend(leftover)
+        finally:
+            if prof is not None:
+                prof.exit()
 
     # ------------------------------------------------------------- internals
 
@@ -280,6 +295,7 @@ class FunctionalEngine:
         mem = self.mem
         cost = self.cost
         seg_bytes = self.spec.dram_segment_bytes
+        prof = self.profiler
         made_progress = False
 
         while True:
@@ -304,6 +320,12 @@ class FunctionalEngine:
             extra_steps = 0
             devsync_requested = False
             active = 0
+            op0 = -1  # profiling only: -1 unset, -2 mixed, else the opcode
+            if prof is not None:
+                ctr = mem.counters
+                dram0 = ctr.dram_transactions
+                hits0 = ctr.l2_hits
+                miss0 = ctr.l2_misses
             for i in live:
                 gen = threads[i]
                 try:
@@ -314,6 +336,8 @@ class FunctionalEngine:
                 pending[i] = None
                 active += 1
                 op = ev[0]
+                if prof is not None and op != op0 and op0 != -2:
+                    op0 = op if op0 == -1 else -2
                 if op == LD:
                     arr = ev[1]
                     idx = ev[2]
@@ -375,6 +399,11 @@ class FunctionalEngine:
             warp.cycles += round_cycles + extra_cycles + lane_extra
             warp.steps += 1 + extra_steps
             warp.active_steps += active + extra_steps
+            if prof is not None:
+                prof.record_round(op0, active,
+                                  ctr.dram_transactions - dram0,
+                                  ctr.l2_hits - hits0,
+                                  ctr.l2_misses - miss0, False)
             if devsync_requested:
                 return "devsync"
 

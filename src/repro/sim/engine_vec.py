@@ -135,6 +135,7 @@ class VectorizedEngine(FunctionalEngine):
         mem = self.mem
         cost = self.cost
         seg_bytes = self.spec.dram_segment_bytes
+        prof = self.profiler
         made_progress = False
 
         # the live-lane list changes only when a lane's state does (done,
@@ -184,6 +185,11 @@ class VectorizedEngine(FunctionalEngine):
                 live = None
                 continue
             made_progress = True
+            if prof is not None:
+                ctr = mem.counters
+                dram0 = ctr.dram_transactions
+                hits0 = ctr.l2_hits
+                miss0 = ctr.l2_misses
 
             # --- process: batched when the round is uniform ---------------
             segments = None
@@ -278,6 +284,11 @@ class VectorizedEngine(FunctionalEngine):
             warp.cycles += round_cycles + extra_cycles + lane_extra
             warp.steps += 1 + extra_steps
             warp.active_steps += active + extra_steps
+            if prof is not None:
+                prof.record_round(op0, active,
+                                  ctr.dram_transactions - dram0,
+                                  ctr.l2_hits - hits0,
+                                  ctr.l2_misses - miss0, processed)
             if dirty:
                 live = None
             if devsync_requested:

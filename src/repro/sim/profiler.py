@@ -84,6 +84,31 @@ class RunMetrics:
         return "\n".join(lines)
 
 
+def instance_trace_stats(inst: KernelInstance) -> dict:
+    """Summed :class:`~repro.sim.engine.BlockTrace` statistics for one
+    kernel instance — the trace-derived half of the deep profiler's
+    per-kernel attribution (:mod:`repro.perf.report`); the counter half
+    comes from the run-time collector."""
+    cycles = 0
+    warp_steps = 0
+    active_lane_steps = 0
+    barrier_stall = 0
+    launches = 0
+    for trace in inst.blocks:
+        cycles += trace.cycles
+        warp_steps += trace.warp_steps
+        active_lane_steps += trace.active_lane_steps
+        barrier_stall += trace.barrier_stall_cycles
+        launches += len(trace.launches)
+    return {
+        "busy_cycles": cycles,
+        "warp_steps": warp_steps,
+        "active_lane_steps": active_lane_steps,
+        "barrier_stall_cycles": barrier_stall,
+        "launches": launches,
+    }
+
+
 def collect_metrics(roots: list[KernelInstance], timing: TimingResult,
                     memsys, dp_stats, allocator) -> RunMetrics:
     """Fuse engine traces, timing results and runtime counters."""

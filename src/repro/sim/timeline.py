@@ -40,9 +40,24 @@ class KernelSpan:
 
 
 @dataclass
+class OccupancySample:
+    """One step of the occupancy/active-kernels step function: from
+    time ``t`` (until the next sample) the device held this many
+    resident warps and admitted kernels."""
+
+    t: float
+    resident_warps: int
+    active_kernels: int
+
+
+@dataclass
 class Timeline:
     makespan: float
     spans: list[KernelSpan] = field(default_factory=list)
+    #: occupancy step function (only populated when captured with
+    #: ``occupancy=True``); samples are state *transitions*, so the
+    #: series is exact, not rate-limited
+    occupancy: list[OccupancySample] = field(default_factory=list)
 
     def by_name(self) -> dict[str, list[KernelSpan]]:
         out: dict[str, list[KernelSpan]] = {}
@@ -78,12 +93,51 @@ class _RecordingScheduler(DeviceScheduler):
         return placed
 
 
+class _SamplingScheduler(_RecordingScheduler):
+    """Recording scheduler that additionally samples the occupancy
+    integrator at every state transition.
+
+    ``_advance_occupancy(t)`` closes the interval ``[_last_occ_t, t)``
+    over which the current resident-warp/active-kernel counts held, so
+    emitting a sample there (stamped at the interval start, deduplicated
+    against an unchanged previous state) reconstructs the exact step
+    function the makespan-normalized occupancy integral is computed
+    from — no extra scheduler events, hence an identical schedule.
+    """
+
+    def __init__(self, spec, cost, memsys=None):
+        super().__init__(spec, cost, memsys)
+        self.samples: list[OccupancySample] = []
+
+    def _advance_occupancy(self, t: float) -> None:
+        if t > self._last_occ_t:
+            samples = self.samples
+            if (not samples
+                    or samples[-1].resident_warps != self._resident_warps
+                    or samples[-1].active_kernels != self.active_kernels):
+                samples.append(OccupancySample(
+                    t=self._last_occ_t,
+                    resident_warps=self._resident_warps,
+                    active_kernels=self.active_kernels,
+                ))
+        super()._advance_occupancy(t)
+
+
 def capture_timeline(roots: list[KernelInstance], spec: DeviceSpec,
-                     cost: CostModel) -> Timeline:
-    """Re-schedule a finished instance forest with recording enabled."""
-    scheduler = _RecordingScheduler(spec, cost)
+                     cost: CostModel, occupancy: bool = False) -> Timeline:
+    """Re-schedule a finished instance forest with recording enabled.
+
+    The re-run uses no memory system: the scheduler only consults it to
+    *charge* overhead traffic counters, never for timing, so the
+    replayed makespan is bitwise equal to the original run's
+    (``RunMetrics.cycles``) — the profiler's reconciliation invariant.
+    """
+    cls = _SamplingScheduler if occupancy else _RecordingScheduler
+    scheduler = cls(spec, cost)
     result: TimingResult = scheduler.run(roots)
     timeline = Timeline(makespan=result.makespan)
+    if occupancy:
+        timeline.occupancy = scheduler.samples
     for inst in _iter_instances(roots):
         timeline.spans.append(KernelSpan(
             uid=inst.uid,

@@ -17,16 +17,19 @@ gains an optional, feature-advertised ``metrics`` op.
 """
 
 from .metrics import (DEFAULT_BUCKETS, Counter, Gauge, Histogram,
-                      MetricsRegistry)
+                      MetricsRegistry, default_registry)
 from .trace import (NULL_SPAN, Span, Tracer, enabled, install, span,
                     tracing, uninstall)
 from .export import (attribution, attribution_table, chrome_trace, coverage,
-                     span_tree, validate_chrome_trace, write_chrome_trace)
+                     span_tree, validate_chrome_trace, write_chrome_trace,
+                     write_trace_object)
 
 __all__ = [
     "Counter", "Gauge", "Histogram", "MetricsRegistry", "DEFAULT_BUCKETS",
+    "default_registry",
     "Span", "Tracer", "NULL_SPAN", "span", "enabled", "tracing",
     "install", "uninstall",
     "chrome_trace", "write_chrome_trace", "validate_chrome_trace",
+    "write_trace_object",
     "attribution", "attribution_table", "coverage", "span_tree",
 ]

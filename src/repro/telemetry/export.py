@@ -17,6 +17,7 @@ from __future__ import annotations
 import json
 import os
 import threading
+import warnings
 from collections import defaultdict
 from typing import Optional
 
@@ -32,8 +33,30 @@ def _arg(value):
     return value if isinstance(value, _SCALARS) else str(value)
 
 
+def _note_dropped(tracer: Tracer) -> None:
+    """Surface span overflow at export time: count the loss in the
+    default metrics registry and warn once per tracer — a silently
+    truncated trace misattributes everything past the cap."""
+    if getattr(tracer, "_overflow_noted", False):
+        return
+    tracer._overflow_noted = True
+    from .metrics import default_registry
+
+    default_registry().counter(
+        "repro_trace_dropped_spans",
+        "spans dropped by bounded tracers (observed at export time)",
+    ).inc(tracer.dropped)
+    warnings.warn(
+        f"tracer dropped {tracer.dropped} span(s) past its "
+        f"{tracer.max_spans}-span bound; the exported trace is truncated "
+        f"(raise Tracer(max_spans=...) to capture everything)",
+        RuntimeWarning, stacklevel=3)
+
+
 def chrome_trace(tracer: Tracer) -> dict:
     """The trace as a Chrome trace-event JSON object."""
+    if tracer.dropped:
+        _note_dropped(tracer)
     spans = tracer.spans()
     tids: dict[int, int] = {}
     names: dict[int, str] = {t.ident: t.name for t in threading.enumerate()}
@@ -63,23 +86,33 @@ def chrome_trace(tracer: Tracer) -> dict:
     }
 
 
-def write_chrome_trace(path, tracer: Tracer) -> str:
-    """Write the Chrome trace JSON to ``path`` (dirs created); the
-    written path is returned for reporting."""
+def write_trace_object(path, obj: dict) -> str:
+    """Write an already-built Chrome trace object to ``path`` (dirs
+    created); the written path is returned for reporting. Shared by the
+    tracer exporter below and the deep profiler's cycle-domain trace
+    (:func:`repro.perf.report.profile_chrome_trace`)."""
     path = os.fspath(path)
     parent = os.path.dirname(path)
     if parent:
         os.makedirs(parent, exist_ok=True)
     with open(path, "w", encoding="utf-8") as fh:
-        json.dump(chrome_trace(tracer), fh, indent=1)
+        json.dump(obj, fh, indent=1)
         fh.write("\n")
     return path
 
 
+def write_chrome_trace(path, tracer: Tracer) -> str:
+    """Write the Chrome trace JSON to ``path`` (dirs created); the
+    written path is returned for reporting."""
+    return write_trace_object(path, chrome_trace(tracer))
+
+
 def validate_chrome_trace(obj: dict) -> int:
     """Schema-check a Chrome trace object; the number of complete
-    (``ph: "X"``) events is returned. Raises ``ValueError`` on any
-    violation — the test suite runs every exported trace through this.
+    (``ph: "X"``) events is returned. Counter events (``ph: "C"``, used
+    by the deep profiler's occupancy timeline) and metadata (``ph: "M"``)
+    are accepted too. Raises ``ValueError`` on any violation — the test
+    suite runs every exported trace through this.
     """
     if not isinstance(obj, dict):
         raise ValueError("trace must be a JSON object")
@@ -91,7 +124,7 @@ def validate_chrome_trace(obj: dict) -> int:
         if not isinstance(ev, dict):
             raise ValueError(f"event {i}: not an object")
         ph = ev.get("ph")
-        if ph not in ("X", "M"):
+        if ph not in ("X", "M", "C"):
             raise ValueError(f"event {i}: unsupported phase {ph!r}")
         if not isinstance(ev.get("name"), str):
             raise ValueError(f"event {i}: name must be a string")
@@ -107,6 +140,16 @@ def validate_chrome_trace(obj: dict) -> int:
             if ev["dur"] < 0:
                 raise ValueError(f"event {i}: negative duration")
             n_complete += 1
+        elif ph == "C":
+            if not isinstance(ev.get("ts"), (int, float)):
+                raise ValueError(f"event {i}: ts must be numeric")
+            args = ev.get("args")
+            if not isinstance(args, dict) or not args:
+                raise ValueError(f"event {i}: counter needs non-empty args")
+            for key, value in args.items():
+                if not isinstance(value, (int, float)):
+                    raise ValueError(
+                        f"event {i}: counter series {key!r} must be numeric")
     return n_complete
 
 

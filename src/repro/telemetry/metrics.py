@@ -171,6 +171,23 @@ class MetricsRegistry:
         return "\n".join(lines) + ("\n" if lines else "")
 
 
+#: lazily created process-wide registry (see :func:`default_registry`)
+_DEFAULT: Optional[MetricsRegistry] = None
+_DEFAULT_LOCK = threading.Lock()
+
+
+def default_registry() -> MetricsRegistry:
+    """The process-wide registry for instrumentation that has no owner
+    to hand it one (e.g. the trace exporter's dropped-span counter).
+    Components with a natural owner — the service daemon — should keep
+    constructing their own."""
+    global _DEFAULT
+    with _DEFAULT_LOCK:
+        if _DEFAULT is None:
+            _DEFAULT = MetricsRegistry()
+        return _DEFAULT
+
+
 def _fmt(value: Number) -> str:
     """Prometheus-friendly number formatting (no trailing .0 on ints)."""
     if isinstance(value, int):

@@ -51,4 +51,10 @@ from .space import (  # noqa: F401
     ConfigChoice,
     TuningSpace,
 )
-from .tuner import Tuner, TuningResult, best_threshold  # noqa: F401
+from .tuner import (  # noqa: F401
+    Tuner,
+    TuningResult,
+    WEAK_SURROGATE_RHO,
+    best_threshold,
+    weak_surrogate_warning,
+)

@@ -78,6 +78,35 @@ class TuningResult:
         return "\n".join(lines)
 
 
+#: Spearman rho below which the surrogate's cheap-rung ranking is
+#: considered unreliable (0.5 ~ "moderate correlation": below it, the
+#: prefilter is close to shuffling candidates)
+WEAK_SURROGATE_RHO = 0.5
+
+
+def weak_surrogate_warning(report: Optional[dict],
+                           floor: float = WEAK_SURROGATE_RHO
+                           ) -> Optional[str]:
+    """A caution string when a surrogate report shows a training-set
+    Spearman rho under ``floor`` (or none at all), else None. The CLI
+    prints it after the surrogate summary so a tune whose prefilter was
+    effectively random is never mistaken for a trustworthy one."""
+    if not report:
+        return None
+    rho = report.get("spearman")
+    rows = report.get("train_rows", 0)
+    if rho is None:
+        return (f"surrogate rank quality is unknown (trained on {rows} "
+                f"rows, no holdout Spearman rho); its candidate "
+                "prefiltering may be unreliable")
+    if rho < floor:
+        return (f"surrogate Spearman rho {rho:.3f} is below {floor:g}; "
+                "its cheap-rung ranking is weakly correlated with the "
+                "simulator, so the tuned config may be far from optimal "
+                "(consider --oracle sim or logging more training runs)")
+    return None
+
+
 @dataclass
 class Tuner:
     """Search-based autotuner over the consolidation configuration space.

@@ -387,3 +387,66 @@ class TestServiceMetricsFold:
             "coalesced : 0 (dedup rate 0.0%)\n"
             "batches   : 1 (largest 1, window 0.05s)\n"
             "store     : /tmp/svc (1 entries, 16 shards)")
+
+
+# -- span-overflow surfacing (repro.perf PR) ----------------------------------
+
+class TestDroppedSpanSurfacing:
+    """An overflowed tracer must announce itself at export time: once as
+    a RuntimeWarning, and cumulatively as the
+    ``repro_trace_dropped_spans`` counter in the default registry."""
+
+    def _overflowed_tracer(self):
+        tracer = Tracer(max_spans=2)
+        with tracing(tracer):
+            for i in range(5):
+                with span(f"s{i}"):
+                    pass
+        assert tracer.dropped == 3
+        return tracer
+
+    def test_export_warns_once_and_counts(self):
+        from repro.telemetry import default_registry
+
+        registry = default_registry()
+        counter = registry.counter("repro_trace_dropped_spans")
+        before = counter.value
+        tracer = self._overflowed_tracer()
+        with pytest.warns(RuntimeWarning, match="dropped 3 span"):
+            obj = chrome_trace(tracer)
+        assert obj["otherData"]["dropped"] == 3
+        assert counter.value == before + 3
+        # a second export of the same tracer neither re-warns nor
+        # double-counts
+        import warnings as _warnings
+
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error")
+            chrome_trace(tracer)
+        assert counter.value == before + 3
+
+    def test_clean_export_stays_silent(self):
+        import warnings as _warnings
+
+        tracer = Tracer()
+        with tracing(tracer), span("only"):
+            pass
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error")
+            obj = chrome_trace(tracer)
+        assert obj["otherData"]["dropped"] == 0
+
+    def test_counter_events_validate(self):
+        # the profiler's occupancy track uses ph "C"; the validator must
+        # accept it and still reject malformed counters
+        obj = {"traceEvents": [
+            {"name": "occupancy", "ph": "C", "ts": 1.0, "pid": 0,
+             "tid": 0, "args": {"resident_warps": 8}},
+        ]}
+        assert validate_chrome_trace(obj) == 0
+        bad = {"traceEvents": [
+            {"name": "occupancy", "ph": "C", "ts": 1.0, "pid": 0,
+             "tid": 0, "args": {"resident_warps": "eight"}},
+        ]}
+        with pytest.raises(ValueError, match="numeric"):
+            validate_chrome_trace(bad)

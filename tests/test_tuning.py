@@ -474,3 +474,32 @@ class TestCliTune:
 
         assert main(["compile", "sssp", "--threshold", "42"]) == 0
         assert "delegation threshold: 42" in capsys.readouterr().out
+
+
+class TestWeakSurrogateWarning:
+    """`repro tune --oracle surrogate` must flag a prefilter whose
+    holdout Spearman rho says its ranking is near-random."""
+
+    def test_strong_or_absent_report_is_silent(self):
+        from repro.tuning import weak_surrogate_warning
+
+        assert weak_surrogate_warning(None) is None
+        assert weak_surrogate_warning({}) is None
+        assert weak_surrogate_warning(
+            {"spearman": 0.91, "train_rows": 40}) is None
+
+    def test_weak_rho_warns(self):
+        from repro.tuning import WEAK_SURROGATE_RHO, weak_surrogate_warning
+
+        text = weak_surrogate_warning({"spearman": 0.21, "train_rows": 12})
+        assert text is not None and "0.210" in text
+        assert f"below {WEAK_SURROGATE_RHO:g}" in text
+        # the floor itself does not warn; just under it does
+        assert weak_surrogate_warning({"spearman": 0.5}) is None
+        assert weak_surrogate_warning({"spearman": 0.499}) is not None
+
+    def test_unknown_rho_warns_differently(self):
+        from repro.tuning import weak_surrogate_warning
+
+        text = weak_surrogate_warning({"spearman": None, "train_rows": 3})
+        assert text is not None and "unknown" in text and "3" in text
